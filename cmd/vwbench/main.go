@@ -1,0 +1,504 @@
+// vwbench regenerates the experiment tables of EXPERIMENTS.md outside the
+// testing framework: one section per experiment E1…E12 (see DESIGN.md §3),
+// each printing the series the corresponding paper claim predicts.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"strings"
+	"sync"
+	"time"
+
+	"vectorwise/internal/bufmgr"
+	"vectorwise/internal/compress"
+	"vectorwise/internal/datagen"
+	"vectorwise/internal/engine"
+	"vectorwise/internal/expr"
+	"vectorwise/internal/iosim"
+	"vectorwise/internal/pdt"
+	"vectorwise/internal/primitives"
+	"vectorwise/internal/rowengine"
+	"vectorwise/internal/types"
+)
+
+var (
+	rows = flag.Int("rows", 200_000, "lineitem rows for engine experiments")
+	reps = flag.Int("reps", 3, "repetitions per measurement (min is reported)")
+	only = flag.String("only", "", "comma-separated experiment ids (e.g. E1,E6)")
+)
+
+func main() {
+	flag.Parse()
+	sel := map[string]bool{}
+	for _, s := range strings.Split(*only, ",") {
+		if s = strings.TrimSpace(strings.ToUpper(s)); s != "" {
+			sel[s] = true
+		}
+	}
+	want := func(id string) bool { return len(sel) == 0 || sel[id] }
+
+	db, heap := setup()
+	if want("E1") {
+		e1(db, heap)
+	}
+	if want("E2") {
+		e2(db)
+	}
+	if want("E3") {
+		e3()
+	}
+	if want("E4") {
+		e4()
+	}
+	if want("E5") {
+		e5()
+	}
+	if want("E6") {
+		e6(db)
+	}
+	if want("E7") {
+		e7()
+	}
+	if want("E8") {
+		e8()
+	}
+	if want("E9") {
+		e9(db)
+	}
+	if want("E10") {
+		e10(db)
+	}
+	if want("E11") {
+		e11(db)
+	}
+	if want("E12") {
+		e12(db, heap)
+	}
+}
+
+func header(id, claim string) {
+	fmt.Printf("\n=== %s — %s ===\n", id, claim)
+}
+
+// best runs f reps times and returns the fastest wall time.
+func best(f func()) time.Duration {
+	bestD := time.Duration(1<<62 - 1)
+	for i := 0; i < *reps; i++ {
+		t0 := time.Now()
+		f()
+		if d := time.Since(t0); d < bestD {
+			bestD = d
+		}
+	}
+	return bestD
+}
+
+func setup() (*engine.DB, *rowengine.HeapTable) {
+	db := engine.Open()
+	ctx := context.Background()
+	mustRun(db, ctx, datagen.LineitemDDL)
+	sf := float64(*rows) / datagen.RowsPerSF
+	check(db.LoadBatchFunc("lineitem", func(emit func(row []types.Value) error) error {
+		return datagen.Lineitems(sf, 42, emit)
+	}))
+	mustRun(db, ctx, "ANALYZE lineitem")
+	// Classic copy for the tuple-at-a-time baseline.
+	heap := rowengine.NewHeapTable(datagen.LineitemSchema(), -1)
+	check(datagen.Lineitems(sf, 42, func(row []types.Value) error {
+		cp := make([]types.Value, len(row))
+		copy(cp, row)
+		_, err := heap.Insert(cp)
+		return err
+	}))
+	fmt.Printf("fixtures: %d lineitem rows (vectorwise + heap)\n", *rows)
+	return db, heap
+}
+
+const q1 = `SELECT l_returnflag, l_linestatus, COUNT(*), SUM(l_quantity),
+	SUM(l_extendedprice * (1 - l_discount)), AVG(l_extendedprice)
+	FROM lineitem WHERE l_shipdate <= DATE '1998-09-01'
+	GROUP BY l_returnflag, l_linestatus`
+
+func e1(db *engine.DB, heap *rowengine.HeapTable) {
+	header("E1", "vectorized vs tuple-at-a-time (paper: >10x)")
+	vect := best(func() { mustRun(db, context.Background(), q1) })
+	tuple := best(func() { runQ1Classic(heap) })
+	fmt.Printf("vectorized (full SQL pipeline): %12v\n", vect)
+	fmt.Printf("tuple-at-a-time (classic):      %12v\n", tuple)
+	fmt.Printf("speedup:                        %12.1fx\n", float64(tuple)/float64(vect))
+}
+
+func runQ1Classic(heap *rowengine.HeapTable) {
+	cutoff := types.DateFromYMD(1998, 9, 1)
+	scan := rowengine.NewTableScan(heap)
+	filt := rowengine.NewFilter(scan, expr.NewCall("<=",
+		expr.Col(8, "d", types.Date), expr.CDate(cutoff)))
+	proj := rowengine.NewMap(filt, []expr.Expr{
+		expr.Col(6, "f", types.String),
+		expr.Col(7, "s", types.String),
+		expr.Col(2, "q", types.Int32),
+		expr.NewCall("*", expr.Col(3, "ep", types.Float64),
+			expr.NewCall("-", expr.CFloat(1), expr.Col(4, "dc", types.Float64))),
+		expr.Col(3, "ep", types.Float64),
+	}, []string{"f", "s", "q", "dp", "ep"})
+	agg := rowengine.NewAggRow(proj, []int{0, 1}, []rowengine.RowAggSpec{
+		{Fn: "count", Col: -1}, {Fn: "sum", Col: 2}, {Fn: "sum", Col: 3}, {Fn: "avg", Col: 4},
+	})
+	if _, err := rowengine.CollectRows(context.Background(), agg); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func e2(db *engine.DB) {
+	header("E2", "vector-size sweep (X100 U-curve, optimum near 1K)")
+	fmt.Printf("%10s %14s\n", "vecsize", "time")
+	for _, vs := range []int{1, 4, 16, 64, 256, 1024, 4096, 16384} {
+		q := q1 + fmt.Sprintf(" WITH (VECTORSIZE=%d)", vs)
+		d := best(func() { mustRun(db, context.Background(), q) })
+		fmt.Printf("%10d %14v\n", vs, d)
+	}
+}
+
+func e3() {
+	header("E3", "PFOR-family compression: ratio and decode bandwidth")
+	rng := rand.New(rand.NewSource(7))
+	n := 1 << 16
+	inputs := map[string][]int64{}
+	sorted := make([]int64, n)
+	acc := int64(1_000_000)
+	for i := range sorted {
+		acc += int64(rng.Intn(8))
+		sorted[i] = acc
+	}
+	inputs["sorted"] = sorted
+	small := make([]int64, n)
+	for i := range small {
+		small[i] = int64(rng.Intn(100))
+	}
+	inputs["smallrange"] = small
+	runs := make([]int64, n)
+	for i := range runs {
+		runs[i] = int64(i / 4096)
+	}
+	inputs["runs"] = runs
+	raw := float64(n * 8)
+	fmt.Printf("%-12s %-10s %8s %14s\n", "input", "codec", "ratio", "decode")
+	for _, in := range []string{"sorted", "smallrange", "runs"} {
+		vals := inputs[in]
+		for _, c := range []struct {
+			name string
+			enc  func([]byte, []int64) []byte
+			dec  func([]int64, []byte) ([]int64, []byte, error)
+		}{
+			{"pfor", compress.EncodePFOR, compress.DecodePFOR},
+			{"pfordelta", compress.EncodePFORDelta, compress.DecodePFORDelta},
+			{"rle", compress.EncodeRLE, compress.DecodeRLE},
+		} {
+			buf := c.enc(nil, vals)
+			dst := make([]int64, n)
+			d := best(func() {
+				for k := 0; k < 32; k++ {
+					var err error
+					dst, _, err = c.dec(dst, buf)
+					check(err)
+				}
+			})
+			gbs := raw * 32 / d.Seconds() / 1e9
+			fmt.Printf("%-12s %-10s %7.1fx %11.2f GB/s\n", in, c.name, raw/float64(len(buf)), gbs)
+		}
+	}
+}
+
+type chunkSource struct {
+	disk   *iosim.Disk
+	chunks int
+}
+
+func (s *chunkSource) NumChunks() int { return s.chunks }
+func (s *chunkSource) ReadChunk(ctx context.Context, id int) ([]byte, error) {
+	if err := s.disk.Read(ctx, 1<<20); err != nil {
+		return nil, err
+	}
+	return []byte{byte(id)}, nil
+}
+
+func e4() {
+	header("E4", "cooperative scans: physical loads, LRU vs ABM (table=64 chunks, pool=16)")
+	fmt.Printf("%8s %12s %12s\n", "scans", "LRU loads", "ABM loads")
+	for _, nScans := range []int{1, 2, 4, 8} {
+		var loads [2]int64
+		for pi, coop := range []bool{false, true} {
+			disk := iosim.NewDisk(100*time.Microsecond, 0)
+			src := &chunkSource{disk: disk, chunks: 64}
+			loads[pi] = scanFleet(coop, src, 16, nScans)
+		}
+		fmt.Printf("%8d %12d %12d\n", nScans, loads[0], loads[1])
+	}
+}
+
+func scanFleet(coop bool, src bufmgr.Source, pool, nScans int) int64 {
+	ctx := context.Background()
+	offset := pool + 4
+	progress := make([]chan struct{}, nScans)
+	for i := range progress {
+		progress[i] = make(chan struct{})
+	}
+	var loads func() int64
+	var mkStep func() func() bool
+	if coop {
+		a := bufmgr.NewABM(src, pool)
+		loads = func() int64 { return a.Stats().Loads }
+		mkStep = func() func() bool {
+			s := a.Attach()
+			return func() bool { _, _, ok, err := s.Next(ctx); return err == nil && ok }
+		}
+	} else {
+		p := bufmgr.NewLRUPool(src, pool)
+		loads = func() int64 { return p.Stats().Loads }
+		mkStep = func() func() bool {
+			s := bufmgr.NewNormalScan(p)
+			return func() bool { _, _, ok, err := s.Next(ctx); return err == nil && ok }
+		}
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < nScans; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if i > 0 {
+				<-progress[i-1]
+			}
+			step := mkStep()
+			consumed, released := 0, false
+			for step() {
+				consumed++
+				if consumed == offset && !released {
+					close(progress[i])
+					released = true
+				}
+			}
+			if !released {
+				close(progress[i])
+			}
+		}(i)
+	}
+	wg.Wait()
+	return loads()
+}
+
+func e5() {
+	header("E5", "PDT updates and merge-scan overhead")
+	const stable = 1_000_000
+	rng := rand.New(rand.NewSource(3))
+	p := pdt.New()
+	const updates = 50_000
+	d := best(func() {
+		p = pdt.New()
+		for i := 0; i < updates; i++ {
+			check(p.ModifyAt(rng.Int63n(stable), 0, types.NewInt64(int64(i))))
+		}
+	})
+	fmt.Printf("%d random modifies into 1M-row image: %v (%.0f ns/op)\n",
+		updates, d, float64(d.Nanoseconds())/updates)
+	// Merge-scan overhead vs delta count: scan 1M rows through a merger.
+	tab := mkIntTable(stable)
+	fmt.Printf("%12s %14s\n", "deltas", "scan time")
+	for _, deltas := range []int{0, 1000, 10000, 100000} {
+		pp := pdt.New()
+		for i := 0; i < deltas; i++ {
+			check(pp.ModifyAt(rng.Int63n(stable), 0, types.NewInt64(-1)))
+		}
+		ops := pp.Ops()
+		d := best(func() { mergeScan(tab, ops, stable) })
+		fmt.Printf("%12d %14v\n", deltas, d)
+	}
+}
+
+func e6(db *engine.DB) {
+	header("E6", "multi-core scaling via rewriter-inserted exchanges")
+	base := best(func() { mustRun(db, context.Background(), q1) })
+	fmt.Printf("%10s %12s %10s\n", "threads", "time", "speedup")
+	fmt.Printf("%10d %12v %9.2fx\n", 1, base, 1.0)
+	for _, p := range []int{2, 4, 8} {
+		q := q1 + fmt.Sprintf(" WITH (PARALLEL=%d)", p)
+		d := best(func() { mustRun(db, context.Background(), q) })
+		fmt.Printf("%10d %12v %9.2fx\n", p, d, float64(base)/float64(d))
+	}
+}
+
+func e7() {
+	header("E7", "NULL handling: two-column decomposition vs branchy vs boxed")
+	n := 1 << 20
+	rng := rand.New(rand.NewSource(11))
+	vals := make([]float64, n)
+	inds := make([]bool, n)
+	boxed := make([]types.Value, n)
+	for i := range vals {
+		if rng.Intn(10) == 0 {
+			inds[i] = true
+			boxed[i] = types.NewNull(types.KindFloat64)
+		} else {
+			vals[i] = rng.Float64()
+			boxed[i] = types.NewFloat64(vals[i])
+		}
+	}
+	d1 := best(func() {
+		for k := 0; k < 16; k++ {
+			primitives.DecomposedSumDirect(vals, inds, nil, n)
+		}
+	})
+	d2 := best(func() {
+		for k := 0; k < 16; k++ {
+			primitives.NullAwareSumDirect(vals, inds, nil, n)
+		}
+	})
+	d3 := best(func() {
+		for k := 0; k < 16; k++ {
+			var s float64
+			var c int64
+			for _, v := range boxed {
+				if !v.Null {
+					s += v.F64
+					c++
+				}
+			}
+			_ = s
+		}
+	})
+	fmt.Printf("decomposed (production):  %12v\n", d1/16)
+	fmt.Printf("branchy NULL-aware:       %12v\n", d2/16)
+	fmt.Printf("boxed tuple-at-a-time:    %12v\n", d3/16)
+}
+
+func e8() {
+	header("E8", "checked arithmetic: unchecked vs vectorized-checked vs naive")
+	n := 1 << 20
+	rng := rand.New(rand.NewSource(5))
+	x := make([]int64, n)
+	y := make([]int64, n)
+	for i := range x {
+		x[i] = rng.Int63n(1 << 30)
+		y[i] = rng.Int63n(1 << 30)
+	}
+	dst := make([]int64, n)
+	d1 := best(func() {
+		for k := 0; k < 16; k++ {
+			primitives.AddVV(dst, x, y, nil)
+		}
+	})
+	d2 := best(func() {
+		for k := 0; k < 16; k++ {
+			check(primitives.CheckedAddVV(dst, x, y, nil))
+		}
+	})
+	d3 := best(func() {
+		for k := 0; k < 16; k++ {
+			check(primitives.NaiveCheckedAddVV(dst, x, y, nil, primitives.NaiveAddOverflowCheck[int64]))
+		}
+	})
+	fmt.Printf("unchecked:           %12v   (1.00x)\n", d1/16)
+	fmt.Printf("checked vectorized:  %12v   (%.2fx)\n", d2/16, float64(d2)/float64(d1))
+	fmt.Printf("checked naive:       %12v   (%.2fx)\n", d3/16, float64(d3)/float64(d1))
+}
+
+func e9(db *engine.DB) {
+	header("E9", "kernel-native vs rewriter-lowered functions")
+	ctx := context.Background()
+	mustRun(db, ctx, `SELECT COUNT(*) FROM lineitem WHERE TRIM(l_shipmode) = 'AIR'`) // warm
+	native := best(func() {
+		mustRun(db, ctx, `SELECT COUNT(*) FROM lineitem WHERE TRIM(l_shipmode) = 'AIR'`)
+	})
+	lowered := best(func() {
+		mustRun(db, ctx, `SELECT COUNT(*) FROM lineitem WHERE LTRIM(RTRIM(l_shipmode)) = 'AIR'`)
+	})
+	fmt.Printf("trim kernel-native:        %12v\n", native)
+	fmt.Printf("ltrim(rtrim()) lowered:    %12v\n", lowered)
+}
+
+func e10(db *engine.DB) {
+	header("E10", "query cancellation latency (parallel plan)")
+	var lat time.Duration
+	const tries = 5
+	for i := 0; i < tries; i++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			_, _ = db.Exec(ctx, q1+" WITH (PARALLEL=8)")
+		}()
+		time.Sleep(3 * time.Millisecond)
+		t0 := time.Now()
+		cancel()
+		<-done
+		lat += time.Since(t0)
+	}
+	fmt.Printf("mean cancel→teardown latency over %d runs: %v\n", tries, lat/tries)
+}
+
+func e11(db *engine.DB) {
+	header("E11", "anti-join NULL semantics (NOT IN)")
+	ctx := context.Background()
+	mustRun(db, ctx, `CREATE TABLE excl (k BIGINT)`)
+	mustRun(db, ctx, `INSERT INTO excl VALUES (1), (2), (3)`)
+	r1, err := db.Exec(ctx, `SELECT COUNT(*) FROM lineitem WHERE l_quantity NOT IN (SELECT k FROM excl)`)
+	check(err)
+	mustRun(db, ctx, `INSERT INTO excl VALUES (NULL)`)
+	r2, err := db.Exec(ctx, `SELECT COUNT(*) FROM lineitem WHERE l_quantity NOT IN (SELECT k FROM excl)`)
+	check(err)
+	fmt.Printf("NOT IN (1,2,3):        %v rows\n", r1.Rows[0][0])
+	fmt.Printf("NOT IN (1,2,3,NULL):   %v rows   (SQL says: empty)\n", r2.Rows[0][0])
+	mustRun(db, ctx, `DROP TABLE excl`)
+}
+
+func e12(db *engine.DB, heap *rowengine.HeapTable) {
+	header("E12", "dual storage: HEAP point ops vs VECTORWISE scans")
+	rng := rand.New(rand.NewSource(21))
+	// Build an indexed heap table of 100k keys.
+	schema := types.NewSchema(types.Col("k", types.Int64), types.Col("v", types.Float64))
+	kv := rowengine.NewHeapTable(schema, 0)
+	for i := 0; i < 100_000; i++ {
+		_, err := kv.Insert([]types.Value{types.NewInt64(int64(i)), types.NewFloat64(float64(i))})
+		check(err)
+	}
+	d := best(func() {
+		for k := 0; k < 10000; k++ {
+			row, err := kv.Lookup(rng.Int63n(100_000))
+			check(err)
+			if row == nil {
+				log.Fatal("missing")
+			}
+		}
+	})
+	fmt.Printf("heap indexed point lookup:      %8.0f ns/op\n", float64(d.Nanoseconds())/10000)
+	scanHeap := best(func() { runQ1Classic(heap) })
+	scanVw := best(func() { mustRun(db, context.Background(), q1) })
+	fmt.Printf("full-scan aggregation: heap %v vs vectorwise %v (%.1fx)\n",
+		scanHeap, scanVw, float64(scanHeap)/float64(scanVw))
+	_ = heap
+}
+
+// --- helpers ---
+
+func mkIntTable(rows int) *colstoreTable {
+	t := &colstoreTable{}
+	t.build(rows)
+	return t
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+func mustRun(db *engine.DB, ctx context.Context, q string) *engine.Result {
+	res, err := db.Exec(ctx, q)
+	if err != nil {
+		log.Fatalf("%s\n→ %v", q, err)
+	}
+	return res
+}

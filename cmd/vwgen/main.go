@@ -1,0 +1,68 @@
+// vwgen writes the TPC-H-like tables (lineitem, orders, customer) as CSV
+// files ready for COPY ... FROM.
+package main
+
+import (
+	"bufio"
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"vectorwise/internal/datagen"
+	"vectorwise/internal/types"
+)
+
+func main() {
+	sf := flag.Float64("sf", 0.01, "scale factor (1.0 ≈ 6M lineitems)")
+	dir := flag.String("dir", ".", "output directory")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	write("lineitem", *dir, func(emit func([]types.Value) error) error {
+		return datagen.Lineitems(*sf, *seed, emit)
+	})
+	write("orders", *dir, func(emit func([]types.Value) error) error {
+		return datagen.Orders(*sf, *seed, emit)
+	})
+	write("customer", *dir, func(emit func([]types.Value) error) error {
+		return datagen.Customers(*sf, *seed, emit)
+	})
+}
+
+func write(name, dir string, gen func(func([]types.Value) error) error) {
+	path := filepath.Join(dir, name+".csv")
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bw := bufio.NewWriterSize(f, 1<<20)
+	w := csv.NewWriter(bw)
+	n := 0
+	rec := []string{}
+	err = gen(func(row []types.Value) error {
+		rec = rec[:0]
+		for _, v := range row {
+			if v.Null {
+				rec = append(rec, "")
+			} else {
+				rec = append(rec, v.String())
+			}
+		}
+		n++
+		return w.Write(rec)
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	w.Flush()
+	if err := bw.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: %d rows → %s\n", name, n, path)
+}

@@ -1,0 +1,87 @@
+// vwsql is an interactive SQL shell over the engine: type statements
+// terminated by ';', or pipe a script on stdin. Meta commands: \q quits,
+// \events dumps the monitor's event log.
+package main
+
+import (
+	"bufio"
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"vectorwise/internal/engine"
+)
+
+func main() {
+	parallel := flag.Int("parallel", 0, "default degree of parallelism")
+	timing := flag.Bool("timing", true, "print per-statement wall time")
+	flag.Parse()
+
+	db := engine.Open()
+	db.Parallel = *parallel
+	ctx := context.Background()
+
+	interactive := isTerminal()
+	if interactive {
+		fmt.Println("vectorwise shell — end statements with ';', \\q to quit")
+	}
+	scanner := bufio.NewScanner(os.Stdin)
+	scanner.Buffer(make([]byte, 1<<20), 1<<24)
+	var buf strings.Builder
+	if interactive {
+		fmt.Print("vw> ")
+	}
+	for scanner.Scan() {
+		line := scanner.Text()
+		trimmed := strings.TrimSpace(line)
+		if buf.Len() == 0 && strings.HasPrefix(trimmed, "\\") {
+			switch trimmed {
+			case "\\q", "\\quit":
+				return
+			case "\\events":
+				for _, ev := range db.Monitor.Events() {
+					fmt.Printf("%s  %-14s %s\n", ev.Time.Format("15:04:05.000"), ev.Kind, ev.Msg)
+				}
+			default:
+				fmt.Println("unknown meta command:", trimmed)
+			}
+			if interactive {
+				fmt.Print("vw> ")
+			}
+			continue
+		}
+		buf.WriteString(line)
+		buf.WriteByte('\n')
+		if !strings.Contains(line, ";") {
+			if interactive {
+				fmt.Print("..> ")
+			}
+			continue
+		}
+		stmtText := buf.String()
+		buf.Reset()
+		t0 := time.Now()
+		res, err := db.ExecScript(ctx, stmtText)
+		switch {
+		case err != nil:
+			fmt.Fprintln(os.Stderr, "error:", err)
+		case res == nil:
+		default:
+			fmt.Print(engine.FormatResult(res))
+			if *timing {
+				fmt.Printf("time: %v\n", time.Since(t0).Round(time.Microsecond))
+			}
+		}
+		if interactive {
+			fmt.Print("vw> ")
+		}
+	}
+}
+
+func isTerminal() bool {
+	fi, err := os.Stdin.Stat()
+	return err == nil && fi.Mode()&os.ModeCharDevice != 0
+}

@@ -1,0 +1,280 @@
+package colstore
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"vectorwise/internal/types"
+	"vectorwise/internal/vec"
+)
+
+func testSchema() *types.Schema {
+	return types.NewSchema(
+		types.Col("id", types.Int64),
+		types.Col("qty", types.Int32),
+		types.Col("price", types.Float64),
+		types.Col("mode", types.String),
+		types.Col("d", types.Date),
+		types.Col("flag", types.Bool),
+	)
+}
+
+func fillTable(t *testing.T, rows int) *Table {
+	t.Helper()
+	tab := NewTable(testSchema())
+	ap := tab.NewAppender()
+	modes := []string{"AIR", "RAIL", "SHIP"}
+	batch := vec.NewBatchFromSchema(testSchema(), 512)
+	i := 0
+	for i < rows {
+		n := 512
+		if rows-i < n {
+			n = rows - i
+		}
+		batch.Reset()
+		batch.SetLen(n)
+		for k := 0; k < n; k++ {
+			r := i + k
+			batch.Vecs[0].I64[k] = int64(r)
+			batch.Vecs[1].I32[k] = int32(r % 50)
+			batch.Vecs[2].F64[k] = float64(r) * 0.25
+			batch.Vecs[3].Str[k] = modes[r%3]
+			batch.Vecs[4].I32[k] = int32(10000 + r/100)
+			batch.Vecs[5].Bool[k] = r%2 == 0
+		}
+		if err := ap.AppendBatch(batch); err != nil {
+			t.Fatal(err)
+		}
+		i += n
+	}
+	if err := ap.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return tab
+}
+
+func scanAll(t *testing.T, tab *Table, cols []int, vecSize int, filters ...RangeFilter) (*vec.Batch, []int64, int) {
+	t.Helper()
+	sc, err := tab.NewScanner(cols, vecSize, filters...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := vec.NewBatch(sc.Kinds(), 0)
+	acc := vec.NewBatch(sc.Kinds(), 0)
+	var starts []int64
+	total := 0
+	for {
+		start, n, done, err := sc.Next(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if done {
+			break
+		}
+		starts = append(starts, start)
+		total += n
+		for i := range acc.Vecs {
+			acc.Vecs[i].AppendVector(out.Vecs[i])
+		}
+	}
+	acc.SetLen(total)
+	return acc, starts, sc.SkippedGroups()
+}
+
+func TestAppendScanRoundTrip(t *testing.T) {
+	const rows = 40000 // spans multiple row groups with a partial tail
+	tab := fillTable(t, rows)
+	if tab.Rows() != rows {
+		t.Fatalf("rows = %d", tab.Rows())
+	}
+	if tab.NumBlocks() != 3 { // 16384+16384+7232
+		t.Fatalf("blocks = %d", tab.NumBlocks())
+	}
+	acc, starts, _ := scanAll(t, tab, []int{0, 1, 2, 3, 4, 5}, 1024)
+	if acc.Full() != rows {
+		t.Fatalf("scanned %d", acc.Full())
+	}
+	if starts[0] != 0 {
+		t.Fatalf("first start = %d", starts[0])
+	}
+	for i := 0; i < rows; i += 997 {
+		if acc.Vecs[0].I64[i] != int64(i) {
+			t.Fatalf("id[%d] = %d", i, acc.Vecs[0].I64[i])
+		}
+		if acc.Vecs[1].I32[i] != int32(i%50) {
+			t.Fatalf("qty[%d]", i)
+		}
+		if acc.Vecs[2].F64[i] != float64(i)*0.25 {
+			t.Fatalf("price[%d]", i)
+		}
+		if acc.Vecs[3].Str[i] != []string{"AIR", "RAIL", "SHIP"}[i%3] {
+			t.Fatalf("mode[%d]", i)
+		}
+		if acc.Vecs[5].Bool[i] != (i%2 == 0) {
+			t.Fatalf("flag[%d]", i)
+		}
+	}
+}
+
+func TestProjectionScan(t *testing.T) {
+	tab := fillTable(t, 5000)
+	acc, _, _ := scanAll(t, tab, []int{2, 0}, 700)
+	if len(acc.Vecs) != 2 || acc.Full() != 5000 {
+		t.Fatal("projection shape")
+	}
+	if acc.Vecs[0].Kind != types.KindFloat64 || acc.Vecs[1].Kind != types.KindInt64 {
+		t.Fatal("projection kinds")
+	}
+	if acc.Vecs[1].I64[4999] != 4999 {
+		t.Fatal("projection content")
+	}
+}
+
+func TestBlockSkipping(t *testing.T) {
+	tab := fillTable(t, BlockRows*4) // ids 0..65535 across 4 groups
+	lo := types.NewInt64(int64(BlockRows*2 + 5))
+	hi := types.NewInt64(int64(BlockRows*2 + 10))
+	acc, _, skipped := scanAll(t, tab, []int{0}, 1024, RangeFilter{Col: 0, Lo: &lo, Hi: &hi})
+	if skipped != 3 {
+		t.Fatalf("skipped %d groups, want 3", skipped)
+	}
+	// All qualifying rows must still be present (skipping is conservative).
+	found := 0
+	for i := 0; i < acc.Full(); i++ {
+		v := acc.Vecs[0].I64[i]
+		if v >= lo.I64 && v <= hi.I64 {
+			found++
+		}
+	}
+	if found != 6 {
+		t.Fatalf("found %d matching rows, want 6", found)
+	}
+}
+
+func TestBlockSkippingOpenBounds(t *testing.T) {
+	tab := fillTable(t, BlockRows*3)
+	hi := types.NewInt64(100)
+	_, _, skipped := scanAll(t, tab, []int{0}, 2048, RangeFilter{Col: 0, Hi: &hi})
+	if skipped != 2 {
+		t.Fatalf("hi-only filter skipped %d, want 2", skipped)
+	}
+	lo := types.NewInt64(int64(BlockRows*3 - 10))
+	_, _, skipped = scanAll(t, tab, []int{0}, 2048, RangeFilter{Col: 0, Lo: &lo})
+	if skipped != 2 {
+		t.Fatalf("lo-only filter skipped %d, want 2", skipped)
+	}
+}
+
+func TestAppendRowAndPartialFlush(t *testing.T) {
+	tab := NewTable(types.NewSchema(types.Col("x", types.Int64)))
+	ap := tab.NewAppender()
+	for i := 0; i < 10; i++ {
+		if err := ap.AppendRow([]types.Value{types.NewInt64(int64(i * 3))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tab.Rows() != 0 {
+		t.Fatal("rows visible before flush")
+	}
+	if err := ap.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if tab.Rows() != 10 {
+		t.Fatalf("rows = %d", tab.Rows())
+	}
+	acc, _, _ := scanAll(t, tab, []int{0}, 4)
+	if acc.Vecs[0].I64[9] != 27 {
+		t.Fatal("content")
+	}
+	// Wrong arity rejected.
+	if err := ap.AppendRow([]types.Value{types.NewInt64(1), types.NewInt64(2)}); err == nil {
+		t.Fatal("arity error not detected")
+	}
+}
+
+func TestCompressionEffective(t *testing.T) {
+	tab := fillTable(t, BlockRows*2)
+	raw := int64(BlockRows*2) * (8 + 4 + 8 + 4 + 4 + 1)
+	comp := tab.CompressedBytes()
+	if comp*2 > raw {
+		t.Fatalf("compression ratio too weak: %d compressed vs %d raw", comp, raw)
+	}
+	// Sorted id column should pick PFOR-DELTA; low-cardinality mode PDICT.
+	_, idCodec := tab.BlockMeta(0, 0)
+	if idCodec.String() != "pfor-delta" {
+		t.Fatalf("id codec = %v", idCodec)
+	}
+	_, modeCodec := tab.BlockMeta(3, 0)
+	if modeCodec.String() != "pdict" {
+		t.Fatalf("mode codec = %v", modeCodec)
+	}
+}
+
+func TestSaveLoad(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.vwt")
+	tab := fillTable(t, 20000)
+	if err := tab.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Rows() != 20000 || got.Schema().String() != tab.Schema().String() {
+		t.Fatalf("loaded meta: %d %s", got.Rows(), got.Schema())
+	}
+	acc, _, _ := scanAll(t, got, []int{0, 3}, 1024)
+	if acc.Full() != 20000 || acc.Vecs[0].I64[19999] != 19999 || acc.Vecs[1].Str[1] != "RAIL" {
+		t.Fatal("loaded content")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.vwt")
+	if err := os.WriteFile(path, []byte("not a table"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := Load(filepath.Join(dir, "missing.vwt")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestScannerColumnRangeError(t *testing.T) {
+	tab := fillTable(t, 100)
+	if _, err := tab.NewScanner([]int{99}, 0); err == nil {
+		t.Fatal("bad column accepted")
+	}
+}
+
+func TestScanStartPositions(t *testing.T) {
+	tab := fillTable(t, BlockRows+100)
+	sc, _ := tab.NewScanner([]int{0}, 1000)
+	out := vec.NewBatch(sc.Kinds(), 0)
+	var prevEnd int64
+	for {
+		start, n, done, err := sc.Next(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if done {
+			break
+		}
+		if start != prevEnd {
+			t.Fatalf("start %d, want %d (SIDs must be dense)", start, prevEnd)
+		}
+		// Batches never cross row-group boundaries.
+		if (start%BlockRows)+int64(n) > BlockRows {
+			t.Fatalf("batch crosses row group: start=%d n=%d", start, n)
+		}
+		prevEnd = start + int64(n)
+	}
+	if prevEnd != BlockRows+100 {
+		t.Fatalf("total = %d", prevEnd)
+	}
+}

@@ -1,0 +1,241 @@
+package colstore
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"vectorwise/internal/compress"
+	"vectorwise/internal/types"
+)
+
+// On-disk format (one file per table):
+//
+//	magic "VWT1"
+//	uvarint ncols | per column: name, kind byte, nullable byte
+//	uvarint rows
+//	per column: uvarint nblocks | per block:
+//	    uvarint rows, codec byte, min value, max value,
+//	    uvarint len(data), data bytes
+//
+// Values are encoded as kind byte + kind-specific payload. The format is
+// self-contained and versioned by the magic string.
+
+var magic = []byte("VWT1")
+
+// Save writes the table to path atomically (temp file + rename).
+func (t *Table) Save(path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriterSize(f, 1<<20)
+	if err := t.write(w); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+func (t *Table) write(w io.Writer) error {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if _, err := w.Write(magic); err != nil {
+		return err
+	}
+	writeUvarint(w, uint64(len(t.schema.Cols)))
+	for _, c := range t.schema.Cols {
+		writeString(w, c.Name)
+		writeByte(w, byte(c.Type.Kind))
+		nb := byte(0)
+		if c.Type.Nullable {
+			nb = 1
+		}
+		writeByte(w, nb)
+	}
+	writeUvarint(w, uint64(t.rows))
+	for i := range t.cols {
+		col := &t.cols[i]
+		writeUvarint(w, uint64(len(col.Blocks)))
+		for j := range col.Blocks {
+			blk := &col.Blocks[j]
+			writeUvarint(w, uint64(blk.Rows))
+			writeByte(w, byte(blk.Codec))
+			writeValue(w, blk.Min)
+			writeValue(w, blk.Max)
+			writeUvarint(w, uint64(len(blk.Data)))
+			if _, err := w.Write(blk.Data); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Load reads a table file written by Save.
+func Load(path string) (*Table, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	r := bufio.NewReaderSize(f, 1<<20)
+	var m [4]byte
+	if _, err := io.ReadFull(r, m[:]); err != nil || string(m[:]) != string(magic) {
+		return nil, fmt.Errorf("colstore: %s is not a table file", path)
+	}
+	ncols, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, err
+	}
+	schema := &types.Schema{}
+	for i := uint64(0); i < ncols; i++ {
+		name, err := readString(r)
+		if err != nil {
+			return nil, err
+		}
+		kb, err := r.ReadByte()
+		if err != nil {
+			return nil, err
+		}
+		nb, err := r.ReadByte()
+		if err != nil {
+			return nil, err
+		}
+		tt := types.T{Kind: types.Kind(kb), Nullable: nb != 0}
+		if !tt.Kind.Valid() {
+			return nil, fmt.Errorf("colstore: invalid kind %d in %s", kb, path)
+		}
+		schema.Cols = append(schema.Cols, types.Col(name, tt))
+	}
+	t := NewTable(schema)
+	rows, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, err
+	}
+	t.rows = int64(rows)
+	for i := range t.cols {
+		nblocks, err := binary.ReadUvarint(r)
+		if err != nil {
+			return nil, err
+		}
+		for j := uint64(0); j < nblocks; j++ {
+			var blk Block
+			br, err := binary.ReadUvarint(r)
+			if err != nil {
+				return nil, err
+			}
+			blk.Rows = int(br)
+			cb, err := r.ReadByte()
+			if err != nil {
+				return nil, err
+			}
+			blk.Codec = compress.Codec(cb)
+			if blk.Min, err = readValue(r); err != nil {
+				return nil, err
+			}
+			if blk.Max, err = readValue(r); err != nil {
+				return nil, err
+			}
+			dl, err := binary.ReadUvarint(r)
+			if err != nil {
+				return nil, err
+			}
+			blk.Data = make([]byte, dl)
+			if _, err := io.ReadFull(r, blk.Data); err != nil {
+				return nil, err
+			}
+			t.cols[i].Blocks = append(t.cols[i].Blocks, blk)
+		}
+	}
+	return t, nil
+}
+
+func writeByte(w io.Writer, b byte) { w.Write([]byte{b}) }
+
+func writeUvarint(w io.Writer, v uint64) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	w.Write(buf[:n])
+}
+
+func writeString(w io.Writer, s string) {
+	writeUvarint(w, uint64(len(s)))
+	io.WriteString(w, s)
+}
+
+func readString(r *bufio.Reader) (string, error) {
+	n, err := binary.ReadUvarint(r)
+	if err != nil {
+		return "", err
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(r, b); err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+func writeValue(w io.Writer, v types.Value) {
+	writeByte(w, byte(v.Kind))
+	switch v.Kind {
+	case types.KindString:
+		writeString(w, v.Str)
+	case types.KindFloat64:
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v.F64))
+		w.Write(buf[:])
+	default:
+		var buf [binary.MaxVarintLen64]byte
+		n := binary.PutVarint(buf[:], v.I64)
+		w.Write(buf[:n])
+	}
+}
+
+func readValue(r *bufio.Reader) (types.Value, error) {
+	kb, err := r.ReadByte()
+	if err != nil {
+		return types.Value{}, err
+	}
+	v := types.Value{Kind: types.Kind(kb)}
+	switch v.Kind {
+	case types.KindString:
+		s, err := readString(r)
+		if err != nil {
+			return types.Value{}, err
+		}
+		v.Str = s
+	case types.KindFloat64:
+		var buf [8]byte
+		if _, err := io.ReadFull(r, buf[:]); err != nil {
+			return types.Value{}, err
+		}
+		v.F64 = math.Float64frombits(binary.LittleEndian.Uint64(buf[:]))
+	default:
+		i, err := binary.ReadVarint(r)
+		if err != nil {
+			return types.Value{}, err
+		}
+		v.I64 = i
+	}
+	return v, nil
+}

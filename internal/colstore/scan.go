@@ -1,0 +1,190 @@
+package colstore
+
+import (
+	"fmt"
+
+	"vectorwise/internal/types"
+	"vectorwise/internal/vec"
+)
+
+// Scanner reads a projection of a table vector-at-a-time, in row order,
+// decoding each row group once and slicing vectors out of it. Min/max block
+// skipping prunes row groups that cannot satisfy the provided range
+// filters — the sparse-index benefit of the PAX/DSM layout.
+type Scanner struct {
+	t       *Table
+	cols    []int
+	vecSize int
+	filters []RangeFilter
+
+	// Snapshot of the block lists (appends after creation are invisible).
+	blocks  [][]Block
+	nGroups int
+
+	group   int // current row group
+	offset  int // row offset within the group
+	rowBase int64
+	decoded []*vec.Vector // decoded vectors per projected column
+	loaded  bool
+	skipped int
+}
+
+// RangeFilter restricts a column to [Lo, Hi] (inclusive; either may be nil
+// to leave that side open). Used only for block skipping — exact filtering
+// remains the Select operator's job.
+type RangeFilter struct {
+	Col    int
+	Lo, Hi *types.Value
+}
+
+// NewScannerPart creates a scanner over one of `parts` contiguous row-group
+// partitions — the unit the rewriter's parallelizer splits scans into.
+func (t *Table) NewScannerPart(cols []int, vecSize, part, parts int, filters ...RangeFilter) (*Scanner, error) {
+	s, err := t.NewScanner(cols, vecSize, filters...)
+	if err != nil {
+		return nil, err
+	}
+	if parts <= 1 {
+		return s, nil
+	}
+	lo := s.nGroups * part / parts
+	hi := s.nGroups * (part + 1) / parts
+	var base int64
+	for g := 0; g < lo; g++ {
+		base += int64(s.groupRows(g))
+	}
+	s.group = lo
+	s.rowBase = base
+	s.nGroups = hi
+	return s, nil
+}
+
+// NewScanner creates a scanner over the given column indexes with batches
+// of vecSize rows.
+func (t *Table) NewScanner(cols []int, vecSize int, filters ...RangeFilter) (*Scanner, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	for _, c := range cols {
+		if c < 0 || c >= len(t.cols) {
+			return nil, fmt.Errorf("colstore: column %d out of range", c)
+		}
+	}
+	if vecSize <= 0 {
+		vecSize = vec.DefaultSize
+	}
+	s := &Scanner{t: t, cols: cols, vecSize: vecSize, filters: filters}
+	s.blocks = make([][]Block, len(t.cols))
+	for i := range t.cols {
+		s.blocks[i] = t.cols[i].Blocks
+	}
+	if len(t.cols) > 0 {
+		s.nGroups = len(t.cols[0].Blocks)
+	}
+	s.decoded = make([]*vec.Vector, len(cols))
+	for i, c := range cols {
+		s.decoded[i] = vec.New(t.cols[c].Type.Kind, BlockRows)
+	}
+	return s, nil
+}
+
+// Kinds returns the vector kinds the scanner produces, in projection order.
+func (s *Scanner) Kinds() []types.Kind {
+	out := make([]types.Kind, len(s.cols))
+	for i, c := range s.cols {
+		out[i] = s.t.cols[c].Type.Kind
+	}
+	return out
+}
+
+// SkippedGroups reports how many row groups block skipping pruned so far.
+func (s *Scanner) SkippedGroups() int { return s.skipped }
+
+// Next fills b with up to vecSize rows and returns the global position
+// (SID) of the first row, or done=true at end of table. The batch's vectors
+// are owned by the scanner and valid until the next call.
+func (s *Scanner) Next(b *vec.Batch) (start int64, n int, done bool, err error) {
+	for {
+		if s.group >= s.nGroups {
+			return 0, 0, true, nil
+		}
+		gRows := s.groupRows(s.group)
+		if s.offset == 0 && !s.loaded {
+			if s.skipGroup(s.group) {
+				s.rowBase += int64(gRows)
+				s.group++
+				s.skipped++
+				continue
+			}
+			for i, c := range s.cols {
+				blk := &s.blocks[c][s.group]
+				if err := decodeBlock(s.t.cols[c].Type.Kind, blk, s.decoded[i]); err != nil {
+					return 0, 0, false, err
+				}
+			}
+			s.loaded = true
+		}
+		n = s.vecSize
+		if rem := gRows - s.offset; n > rem {
+			n = rem
+		}
+		start = s.rowBase + int64(s.offset)
+		// Slice decoded vectors into the caller's batch without copying.
+		for i := range s.cols {
+			src := s.decoded[i]
+			dstV := b.Vecs[i]
+			sliceInto(dstV, src, s.offset, n)
+		}
+		b.Sel = nil
+		b.SetLen(n)
+		s.offset += n
+		if s.offset >= gRows {
+			s.group++
+			s.offset = 0
+			s.loaded = false
+			s.rowBase += int64(gRows)
+		}
+		return start, n, false, nil
+	}
+}
+
+func (s *Scanner) groupRows(g int) int {
+	if len(s.cols) > 0 {
+		return s.blocks[s.cols[0]][g].Rows
+	}
+	if len(s.blocks) > 0 {
+		return s.blocks[0][g].Rows
+	}
+	return 0
+}
+
+// skipGroup applies the range filters to the group's min/max summaries.
+func (s *Scanner) skipGroup(g int) bool {
+	for _, f := range s.filters {
+		blk := &s.blocks[f.Col][g]
+		if f.Lo != nil && types.Compare(blk.Max, *f.Lo) < 0 {
+			return true
+		}
+		if f.Hi != nil && types.Compare(blk.Min, *f.Hi) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// sliceInto points dst at a window of src's storage (zero-copy).
+func sliceInto(dst, src *vec.Vector, off, n int) {
+	dst.Kind = src.Kind
+	switch src.Kind {
+	case types.KindBool:
+		dst.Bool = src.Bool[off : off+n]
+	case types.KindInt32, types.KindDate:
+		dst.I32 = src.I32[off : off+n]
+	case types.KindInt64:
+		dst.I64 = src.I64[off : off+n]
+	case types.KindFloat64:
+		dst.F64 = src.F64[off : off+n]
+	case types.KindString:
+		dst.Str = src.Str[off : off+n]
+	}
+	dst.SetLen(n)
+}

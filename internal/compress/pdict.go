@@ -1,0 +1,172 @@
+package compress
+
+import (
+	"sort"
+)
+
+// PDICT: dictionary compression for string columns. Distinct values are
+// stored once (sorted, for deterministic output and range-predicate
+// friendliness); per-row codes are bit-packed at the minimal width. The
+// decode hot loop is a gather from the dictionary — no parsing, no
+// allocation per value (Go strings share the dictionary's backing).
+
+// EncodeStringRaw appends an uncompressed string block: uvarint count, then
+// uvarint length + bytes per value.
+func EncodeStringRaw(dst []byte, vals []string) []byte {
+	dst = append(dst, byte(None))
+	dst = putUvarint(dst, uint64(len(vals)))
+	for _, s := range vals {
+		dst = putUvarint(dst, uint64(len(s)))
+		dst = append(dst, s...)
+	}
+	return dst
+}
+
+// DecodeStringRaw decodes an uncompressed string block.
+func DecodeStringRaw(dst []string, src []byte) ([]string, []byte, error) {
+	if len(src) == 0 || Codec(src[0]) != None {
+		return nil, nil, ErrCorrupt
+	}
+	src = src[1:]
+	nU, src, ok := getUvarint(src)
+	if !ok {
+		return nil, nil, ErrCorrupt
+	}
+	n := int(nU)
+	if cap(dst) < n {
+		dst = make([]string, n)
+	}
+	dst = dst[:n]
+	for i := 0; i < n; i++ {
+		lU, rest, ok := getUvarint(src)
+		if !ok || len(rest) < int(lU) {
+			return nil, nil, ErrCorrupt
+		}
+		dst[i] = string(rest[:lU])
+		src = rest[lU:]
+	}
+	return dst, src, nil
+}
+
+// EncodePDict appends a dictionary-compressed string block.
+//
+// Layout: uvarint n | uvarint dictSize | dict entries (uvarint len+bytes) |
+// byte codeWidth | packed codes.
+func EncodePDict(dst []byte, vals []string) []byte {
+	dst = append(dst, byte(PDict))
+	dst = putUvarint(dst, uint64(len(vals)))
+	if len(vals) == 0 {
+		return dst
+	}
+	// Build the sorted dictionary.
+	set := make(map[string]struct{}, len(vals))
+	for _, s := range vals {
+		set[s] = struct{}{}
+	}
+	dict := make([]string, 0, len(set))
+	for s := range set {
+		dict = append(dict, s)
+	}
+	sort.Strings(dict)
+	code := make(map[string]uint64, len(dict))
+	for i, s := range dict {
+		code[s] = uint64(i)
+	}
+	dst = putUvarint(dst, uint64(len(dict)))
+	for _, s := range dict {
+		dst = putUvarint(dst, uint64(len(s)))
+		dst = append(dst, s...)
+	}
+	w := codeWidth(len(dict))
+	dst = append(dst, byte(w))
+	codes := make([]uint64, len(vals))
+	for i, s := range vals {
+		codes[i] = code[s]
+	}
+	return packBits(dst, codes, w)
+}
+
+// DecodePDict decodes a dictionary-compressed string block.
+func DecodePDict(dst []string, src []byte) ([]string, []byte, error) {
+	if len(src) == 0 || Codec(src[0]) != PDict {
+		return nil, nil, ErrCorrupt
+	}
+	src = src[1:]
+	nU, src, ok := getUvarint(src)
+	if !ok {
+		return nil, nil, ErrCorrupt
+	}
+	n := int(nU)
+	if cap(dst) < n {
+		dst = make([]string, n)
+	}
+	dst = dst[:n]
+	if n == 0 {
+		return dst, src, nil
+	}
+	dU, src, ok := getUvarint(src)
+	if !ok {
+		return nil, nil, ErrCorrupt
+	}
+	dictN := int(dU)
+	dict := make([]string, dictN)
+	for i := 0; i < dictN; i++ {
+		lU, rest, ok := getUvarint(src)
+		if !ok || len(rest) < int(lU) {
+			return nil, nil, ErrCorrupt
+		}
+		dict[i] = string(rest[:lU])
+		src = rest[lU:]
+	}
+	if len(src) < 1 {
+		return nil, nil, ErrCorrupt
+	}
+	w := uint(src[0])
+	src = src[1:]
+	packed := packedLen(n, w)
+	if w > 64 || len(src) < packed {
+		return nil, nil, ErrCorrupt
+	}
+	codes := make([]uint64, n)
+	unpackBits(codes, src[:packed], n, w)
+	for i, c := range codes {
+		if int(c) >= dictN {
+			return nil, nil, ErrCorrupt
+		}
+		dst[i] = dict[c]
+	}
+	return dst, src[packed:], nil
+}
+
+func codeWidth(dictSize int) uint {
+	w := uint(0)
+	for (1 << w) < dictSize {
+		w++
+	}
+	return w
+}
+
+// ChooseString adaptively picks PDICT when it beats raw storage.
+func ChooseString(dst []byte, vals []string) ([]byte, Codec) {
+	d := EncodePDict(nil, vals)
+	r := EncodeStringRaw(nil, vals)
+	if len(d) < len(r) {
+		return append(dst, d...), PDict
+	}
+	return append(dst, r...), None
+}
+
+// DecodeString decodes any string block by dispatching on its header byte.
+func DecodeString(dst []string, src []byte) ([]string, []byte, error) {
+	if len(src) == 0 {
+		return nil, nil, ErrCorrupt
+	}
+	switch Codec(src[0]) {
+	case None:
+		return DecodeStringRaw(dst, src)
+	case PDict:
+		return DecodePDict(dst, src)
+	default:
+		return nil, nil, ErrCorrupt
+	}
+}

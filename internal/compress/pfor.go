@@ -1,0 +1,396 @@
+package compress
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// PFOR: patched frame-of-reference. Values are encoded as fixed-width
+// unsigned offsets from a base (the block minimum). The width is chosen so
+// that *most* values fit; the rest — the exceptions — are stored verbatim
+// on the side and patched into the output after the branch-free bulk
+// unpack. This keeps the decode loop super-scalar even on skewed data,
+// which is the scheme's whole point.
+
+// ErrCorrupt reports an undecodable block.
+var ErrCorrupt = errors.New("compress: corrupt block")
+
+// Codec identifies a compression scheme in block headers.
+type Codec uint8
+
+// The block codecs.
+const (
+	None Codec = iota
+	PFOR
+	PFORDelta
+	RLE
+	PDict
+)
+
+// String names the codec.
+func (c Codec) String() string {
+	switch c {
+	case None:
+		return "none"
+	case PFOR:
+		return "pfor"
+	case PFORDelta:
+		return "pfor-delta"
+	case RLE:
+		return "rle"
+	case PDict:
+		return "pdict"
+	default:
+		return fmt.Sprintf("codec(%d)", uint8(c))
+	}
+}
+
+// exceptionCost is the approximate per-exception storage cost in bytes
+// (position delta + value), used when choosing the code width.
+const exceptionCost = 11
+
+// choosePFOR picks (base, width) minimizing estimated block size. Exceptions
+// may lie on *either* side of the covered window [base, base+2^w), so a
+// single wild outlier — high or low — cannot blow up the frame of
+// reference; it just becomes a patched exception. The search slides a
+// window of each candidate width over the sorted values (two pointers) to
+// find the densest coverage.
+func choosePFOR(vals []int64) (int64, uint) {
+	n := len(vals)
+	sorted := make([]int64, n)
+	copy(sorted, vals)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	bestBase, bestW := sorted[0], uint(64)
+	bestCost := n * 8 // cost of w=64, no exceptions
+	for w := uint(0); w < 64; w++ {
+		span := widthMask(w) // max representable offset
+		covered, coverIdx := 0, 0
+		j := 0
+		for i := 0; i < n; i++ {
+			if j < i {
+				j = i
+			}
+			for j < n && uint64(sorted[j])-uint64(sorted[i]) <= span {
+				j++
+			}
+			if j-i > covered {
+				covered = j - i
+				coverIdx = i
+			}
+			if j == n {
+				break
+			}
+		}
+		cost := (n*int(w)+7)/8 + (n-covered)*exceptionCost
+		if cost < bestCost {
+			bestCost = cost
+			bestW = w
+			bestBase = sorted[coverIdx]
+		}
+	}
+	return bestBase, bestW
+}
+
+// EncodePFOR appends a PFOR block for vals to dst.
+//
+// Layout: uvarint n | uvarint zigzag(base) | byte width | uvarint nExc |
+// packed codes | exceptions (uvarint pos-delta, uvarint zigzag(value))*.
+// Exception values are absolute (not offsets), so they can lie below base.
+func EncodePFOR(dst []byte, vals []int64) []byte {
+	n := len(vals)
+	dst = append(dst, byte(PFOR))
+	dst = putUvarint(dst, uint64(n))
+	if n == 0 {
+		return dst
+	}
+	base, w := choosePFOR(vals)
+	dst = putUvarint(dst, zigzag(base))
+	dst = append(dst, byte(w))
+	// Collect exceptions; their code slots hold 0.
+	span := widthMask(w)
+	var excPos []int
+	codes := make([]uint64, n)
+	for i, v := range vals {
+		off := uint64(v) - uint64(base)
+		if v < base || (w < 64 && off > span) {
+			excPos = append(excPos, i)
+			codes[i] = 0
+		} else {
+			codes[i] = off
+		}
+	}
+	dst = putUvarint(dst, uint64(len(excPos)))
+	dst = packBits(dst, codes, w)
+	prev := 0
+	for _, p := range excPos {
+		dst = putUvarint(dst, uint64(p-prev))
+		prev = p
+		dst = putUvarint(dst, zigzag(vals[p]))
+	}
+	return dst
+}
+
+// DecodePFOR decodes a PFOR block into dst (grown as needed) and returns
+// the value slice along with the unconsumed remainder of src.
+func DecodePFOR(dst []int64, src []byte) ([]int64, []byte, error) {
+	if len(src) == 0 || Codec(src[0]) != PFOR {
+		return nil, nil, ErrCorrupt
+	}
+	src = src[1:]
+	nU, src, ok := getUvarint(src)
+	if !ok {
+		return nil, nil, ErrCorrupt
+	}
+	n := int(nU)
+	if cap(dst) < n {
+		dst = make([]int64, n)
+	}
+	dst = dst[:n]
+	if n == 0 {
+		return dst, src, nil
+	}
+	baseU, src, ok := getUvarint(src)
+	if !ok {
+		return nil, nil, ErrCorrupt
+	}
+	base := unzigzag(baseU)
+	if len(src) < 1 {
+		return nil, nil, ErrCorrupt
+	}
+	w := uint(src[0])
+	src = src[1:]
+	nExcU, src, ok := getUvarint(src)
+	if !ok || w > 64 {
+		return nil, nil, ErrCorrupt
+	}
+	packed := packedLen(n, w)
+	if len(src) < packed {
+		return nil, nil, ErrCorrupt
+	}
+	codes := make([]uint64, n)
+	unpackBits(codes, src[:packed], n, w)
+	src = src[packed:]
+	// Branch-free hot loop: base + code.
+	for i := 0; i < n; i++ {
+		dst[i] = base + int64(codes[i])
+	}
+	// Patch phase.
+	pos := 0
+	for e := 0; e < int(nExcU); e++ {
+		dp, rest, ok := getUvarint(src)
+		if !ok {
+			return nil, nil, ErrCorrupt
+		}
+		v, rest2, ok := getUvarint(rest)
+		if !ok {
+			return nil, nil, ErrCorrupt
+		}
+		src = rest2
+		pos += int(dp)
+		if pos >= n {
+			return nil, nil, ErrCorrupt
+		}
+		dst[pos] = unzigzag(v)
+	}
+	return dst, src, nil
+}
+
+// EncodePFORDelta appends a PFOR-DELTA block: consecutive differences
+// compressed with PFOR. Ideal for sorted or clustered columns (keys, dates,
+// row IDs).
+func EncodePFORDelta(dst []byte, vals []int64) []byte {
+	dst = append(dst, byte(PFORDelta))
+	dst = putUvarint(dst, uint64(len(vals)))
+	if len(vals) == 0 {
+		return dst
+	}
+	dst = putUvarint(dst, zigzag(vals[0]))
+	deltas := make([]int64, len(vals)-1)
+	for i := 1; i < len(vals); i++ {
+		deltas[i-1] = vals[i] - vals[i-1]
+	}
+	return EncodePFOR(dst, deltas)
+}
+
+// DecodePFORDelta decodes a PFOR-DELTA block.
+func DecodePFORDelta(dst []int64, src []byte) ([]int64, []byte, error) {
+	if len(src) == 0 || Codec(src[0]) != PFORDelta {
+		return nil, nil, ErrCorrupt
+	}
+	src = src[1:]
+	nU, src, ok := getUvarint(src)
+	if !ok {
+		return nil, nil, ErrCorrupt
+	}
+	n := int(nU)
+	if cap(dst) < n {
+		dst = make([]int64, n)
+	}
+	dst = dst[:n]
+	if n == 0 {
+		return dst, src, nil
+	}
+	firstU, src, ok := getUvarint(src)
+	if !ok {
+		return nil, nil, ErrCorrupt
+	}
+	deltas, src, err := DecodePFOR(nil, src)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(deltas) != n-1 {
+		return nil, nil, ErrCorrupt
+	}
+	acc := unzigzag(firstU)
+	dst[0] = acc
+	for i, d := range deltas {
+		acc += d
+		dst[i+1] = acc
+	}
+	return dst, src, nil
+}
+
+// EncodeRLE appends a run-length block: (zigzag value, run length) pairs.
+func EncodeRLE(dst []byte, vals []int64) []byte {
+	dst = append(dst, byte(RLE))
+	dst = putUvarint(dst, uint64(len(vals)))
+	i := 0
+	for i < len(vals) {
+		j := i + 1
+		for j < len(vals) && vals[j] == vals[i] {
+			j++
+		}
+		dst = putUvarint(dst, zigzag(vals[i]))
+		dst = putUvarint(dst, uint64(j-i))
+		i = j
+	}
+	return dst
+}
+
+// DecodeRLE decodes a run-length block.
+func DecodeRLE(dst []int64, src []byte) ([]int64, []byte, error) {
+	if len(src) == 0 || Codec(src[0]) != RLE {
+		return nil, nil, ErrCorrupt
+	}
+	src = src[1:]
+	nU, src, ok := getUvarint(src)
+	if !ok {
+		return nil, nil, ErrCorrupt
+	}
+	n := int(nU)
+	if cap(dst) < n {
+		dst = make([]int64, n)
+	}
+	dst = dst[:n]
+	at := 0
+	for at < n {
+		vU, rest, ok := getUvarint(src)
+		if !ok {
+			return nil, nil, ErrCorrupt
+		}
+		runU, rest2, ok := getUvarint(rest)
+		if !ok {
+			return nil, nil, ErrCorrupt
+		}
+		src = rest2
+		v := unzigzag(vU)
+		run := int(runU)
+		if run <= 0 || at+run > n {
+			return nil, nil, ErrCorrupt
+		}
+		for k := 0; k < run; k++ {
+			dst[at+k] = v
+		}
+		at += run
+	}
+	return dst, src, nil
+}
+
+// EncodeNone appends an uncompressed block of raw little-endian values.
+func EncodeNone(dst []byte, vals []int64) []byte {
+	dst = append(dst, byte(None))
+	dst = putUvarint(dst, uint64(len(vals)))
+	for _, v := range vals {
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(v))
+	}
+	return dst
+}
+
+// DecodeNone decodes an uncompressed block.
+func DecodeNone(dst []int64, src []byte) ([]int64, []byte, error) {
+	if len(src) == 0 || Codec(src[0]) != None {
+		return nil, nil, ErrCorrupt
+	}
+	src = src[1:]
+	nU, src, ok := getUvarint(src)
+	if !ok {
+		return nil, nil, ErrCorrupt
+	}
+	n := int(nU)
+	if len(src) < n*8 {
+		return nil, nil, ErrCorrupt
+	}
+	if cap(dst) < n {
+		dst = make([]int64, n)
+	}
+	dst = dst[:n]
+	for i := 0; i < n; i++ {
+		dst[i] = int64(binary.LittleEndian.Uint64(src[i*8:]))
+	}
+	return dst, src[n*8:], nil
+}
+
+// EncodeInt64 encodes vals with the given codec.
+func EncodeInt64(codec Codec, dst []byte, vals []int64) ([]byte, error) {
+	switch codec {
+	case None:
+		return EncodeNone(dst, vals), nil
+	case PFOR:
+		return EncodePFOR(dst, vals), nil
+	case PFORDelta:
+		return EncodePFORDelta(dst, vals), nil
+	case RLE:
+		return EncodeRLE(dst, vals), nil
+	default:
+		return nil, fmt.Errorf("compress: codec %v cannot encode int64", codec)
+	}
+}
+
+// DecodeInt64 decodes any integer block by dispatching on its header byte.
+func DecodeInt64(dst []int64, src []byte) ([]int64, []byte, error) {
+	if len(src) == 0 {
+		return nil, nil, ErrCorrupt
+	}
+	switch Codec(src[0]) {
+	case None:
+		return DecodeNone(dst, src)
+	case PFOR:
+		return DecodePFOR(dst, src)
+	case PFORDelta:
+		return DecodePFORDelta(dst, src)
+	case RLE:
+		return DecodeRLE(dst, src)
+	default:
+		return nil, nil, ErrCorrupt
+	}
+}
+
+// ChooseInt64 adaptively encodes vals with every integer codec and keeps the
+// smallest encoding — the per-block codec choice the column store makes at
+// append time.
+func ChooseInt64(dst []byte, vals []int64) ([]byte, Codec) {
+	best := EncodePFOR(nil, vals)
+	bestCodec := PFOR
+	if c := EncodePFORDelta(nil, vals); len(c) < len(best) {
+		best, bestCodec = c, PFORDelta
+	}
+	if c := EncodeRLE(nil, vals); len(c) < len(best) {
+		best, bestCodec = c, RLE
+	}
+	if raw := len(vals)*8 + 10; raw < len(best) {
+		best, bestCodec = EncodeNone(nil, vals), None
+	}
+	return append(dst, best...), bestCodec
+}

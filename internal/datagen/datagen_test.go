@@ -1,0 +1,88 @@
+package datagen
+
+import (
+	"testing"
+
+	"vectorwise/internal/types"
+)
+
+func TestLineitemsDeterministicAndValid(t *testing.T) {
+	collect := func() [][]types.Value {
+		var out [][]types.Value
+		err := Lineitems(0.0005, 7, func(row []types.Value) error {
+			cp := make([]types.Value, len(row))
+			copy(cp, row)
+			out = append(out, cp)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	a := collect()
+	b := collect()
+	if len(a) != int(0.0005*RowsPerSF) || len(a) == 0 {
+		t.Fatalf("rows: %d", len(a))
+	}
+	for i := range a {
+		for c := range a[i] {
+			if a[i][c].String() != b[i][c].String() {
+				t.Fatal("not deterministic")
+			}
+		}
+	}
+	schema := LineitemSchema()
+	modes := map[string]bool{}
+	for _, m := range ShipModes {
+		modes[m] = true
+	}
+	nulls := 0
+	for _, row := range a {
+		if len(row) != schema.Len() {
+			t.Fatal("arity")
+		}
+		if q := row[2].Int32(); q < 1 || q > 50 {
+			t.Fatalf("quantity: %d", q)
+		}
+		if d := row[4].Float64(); d < 0 || d > 0.10 {
+			t.Fatalf("discount: %v", d)
+		}
+		if !modes[row[9].Str] {
+			t.Fatalf("shipmode: %q", row[9].Str)
+		}
+		if row[10].Null {
+			nulls++
+		}
+	}
+	if nulls == 0 {
+		t.Fatal("expected some NULL comments")
+	}
+}
+
+func TestOrdersAndCustomers(t *testing.T) {
+	var orders, custs int
+	seenKey := map[int64]bool{}
+	err := Orders(0.001, 7, func(row []types.Value) error {
+		orders++
+		k := row[0].Int64()
+		if seenKey[k] {
+			t.Fatal("duplicate orderkey")
+		}
+		seenKey[k] = true
+		return nil
+	})
+	if err != nil || orders == 0 {
+		t.Fatalf("orders: %d %v", orders, err)
+	}
+	err = Customers(0.001, 7, func(row []types.Value) error {
+		custs++
+		if row[1].Str == "" {
+			t.Fatal("empty name")
+		}
+		return nil
+	})
+	if err != nil || custs == 0 {
+		t.Fatalf("customers: %d %v", custs, err)
+	}
+}

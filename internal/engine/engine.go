@@ -1,0 +1,728 @@
+// Package engine is the product: it wires the full Figure-1 pipeline —
+// SQL parser → binder → optimizer → cross compiler → Vectorwise rewriter →
+// vectorized kernel — around a catalog offering both table structures the
+// paper describes: VECTORWISE (compressed column store + PDT transactions,
+// for OLAP) and HEAP (classic slotted-page row store, for OLTP-style
+// access).
+package engine
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"vectorwise/internal/colstore"
+	"vectorwise/internal/expr"
+	"vectorwise/internal/monitor"
+	"vectorwise/internal/optimizer"
+	"vectorwise/internal/plan"
+	"vectorwise/internal/rewriter"
+	"vectorwise/internal/rowengine"
+	"vectorwise/internal/sql"
+	"vectorwise/internal/txn"
+	"vectorwise/internal/types"
+)
+
+// DB is a database instance.
+type DB struct {
+	mu      sync.RWMutex
+	tables  map[string]*tableEntry
+	stats   map[string]map[string]*optimizer.ColStats
+	Monitor *monitor.Monitor
+	// Parallel is the default degree of parallelism for queries (can be
+	// overridden per query via WITH (PARALLEL=n)).
+	Parallel int
+	// VectorSize overrides the default vector length (0 = vec.DefaultSize);
+	// experiment E2's knob.
+	VectorSize int
+}
+
+type tableEntry struct {
+	meta *plan.TableMeta
+	// Exactly one of the following is set, per meta.Structure.
+	store *txn.Store           // "vectorwise"
+	heap  *rowengine.HeapTable // "heap"
+}
+
+// Open creates an empty in-memory database.
+func Open() *DB {
+	return &DB{
+		tables:  map[string]*tableEntry{},
+		stats:   map[string]map[string]*optimizer.ColStats{},
+		Monitor: monitor.New(2048),
+	}
+}
+
+// Result is a statement outcome.
+type Result struct {
+	Cols     []string
+	Rows     [][]types.Value
+	Affected int64
+	Text     string // EXPLAIN / SHOW output
+}
+
+// Exec parses and executes one statement.
+func (db *DB) Exec(ctx context.Context, query string) (*Result, error) {
+	stmt, err := sql.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	return db.ExecStmt(ctx, stmt, query)
+}
+
+// ExecScript executes a semicolon-separated script, returning the last
+// statement's result.
+func (db *DB) ExecScript(ctx context.Context, script string) (*Result, error) {
+	stmts, err := sql.ParseAll(script)
+	if err != nil {
+		return nil, err
+	}
+	var last *Result
+	for _, s := range stmts {
+		last, err = db.ExecStmt(ctx, s, "")
+		if err != nil {
+			return nil, err
+		}
+	}
+	return last, nil
+}
+
+// ExecStmt executes a parsed statement.
+func (db *DB) ExecStmt(ctx context.Context, stmt sql.Stmt, text string) (*Result, error) {
+	switch s := stmt.(type) {
+	case *sql.SelectStmt:
+		return db.execSelect(ctx, s, text)
+	case *sql.CreateTableStmt:
+		return db.execCreate(s)
+	case *sql.DropTableStmt:
+		return db.execDrop(s)
+	case *sql.InsertStmt:
+		return db.execInsert(ctx, s)
+	case *sql.UpdateStmt:
+		return db.execUpdate(ctx, s)
+	case *sql.DeleteStmt:
+		return db.execDelete(ctx, s)
+	case *sql.CopyStmt:
+		return db.execCopy(ctx, s)
+	case *sql.AnalyzeStmt:
+		return db.execAnalyze(ctx, s)
+	case *sql.CheckpointStmt:
+		return db.execCheckpoint(s)
+	case *sql.ExplainStmt:
+		return db.execExplain(ctx, s)
+	case *sql.ShowStmt:
+		return db.execShow(s)
+	}
+	return nil, fmt.Errorf("engine: unsupported statement %T", stmt)
+}
+
+// --- catalog ---
+
+// ResolveTable implements plan.Catalog.
+func (db *DB) ResolveTable(name string) (*plan.TableMeta, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	e, ok := db.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("engine: no table %q", name)
+	}
+	return e.meta, nil
+}
+
+// TableRows implements optimizer.Stats.
+func (db *DB) TableRows(table string) int64 {
+	db.mu.RLock()
+	e, ok := db.tables[table]
+	db.mu.RUnlock()
+	if !ok {
+		return -1
+	}
+	if e.store != nil {
+		return e.store.Rows()
+	}
+	return e.heap.Rows()
+}
+
+// Column implements optimizer.Stats.
+func (db *DB) Column(table, col string) *optimizer.ColStats {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if m, ok := db.stats[table]; ok {
+		return m[col]
+	}
+	return nil
+}
+
+// Store returns a vectorwise table's transactional store (tests, benches).
+func (db *DB) Store(name string) (*txn.Store, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	e, ok := db.tables[name]
+	if !ok || e.store == nil {
+		return nil, fmt.Errorf("engine: no vectorwise table %q", name)
+	}
+	return e.store, nil
+}
+
+// Heap returns a heap table's storage (tests, benches).
+func (db *DB) Heap(name string) (*rowengine.HeapTable, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	e, ok := db.tables[name]
+	if !ok || e.heap == nil {
+		return nil, fmt.Errorf("engine: no heap table %q", name)
+	}
+	return e.heap, nil
+}
+
+// --- DDL ---
+
+func (db *DB) execCreate(s *sql.CreateTableStmt) (*Result, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, exists := db.tables[s.Name]; exists {
+		return nil, fmt.Errorf("engine: table %q already exists", s.Name)
+	}
+	logical := &types.Schema{}
+	key := -1
+	for i, c := range s.Cols {
+		if logical.Find(c.Name) >= 0 {
+			return nil, fmt.Errorf("engine: duplicate column %q", c.Name)
+		}
+		logical.Cols = append(logical.Cols, types.Col(c.Name, c.Type))
+		if c.PrimaryKey {
+			if key >= 0 {
+				return nil, fmt.Errorf("engine: multiple primary keys")
+			}
+			key = i
+		}
+	}
+	meta := &plan.TableMeta{Name: s.Name, Schema: logical, Structure: s.Structure, Key: key}
+	e := &tableEntry{meta: meta}
+	switch s.Structure {
+	case "vectorwise":
+		phys := rewriter.PhysicalSchema(logical)
+		e.store = txn.NewStore(colstore.NewTable(phys))
+	case "heap":
+		heapKey := -1
+		if key >= 0 && logical.Cols[key].Type.Kind.Integral() {
+			heapKey = key
+		}
+		e.heap = rowengine.NewHeapTable(logical, heapKey)
+	default:
+		return nil, fmt.Errorf("engine: unknown structure %q", s.Structure)
+	}
+	db.tables[s.Name] = e
+	db.Monitor.Log(monitor.EvDDL, "create table %s (%s)", s.Name, s.Structure)
+	return &Result{Text: "CREATE TABLE"}, nil
+}
+
+func (db *DB) execDrop(s *sql.DropTableStmt) (*Result, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, ok := db.tables[s.Name]; !ok {
+		return nil, fmt.Errorf("engine: no table %q", s.Name)
+	}
+	delete(db.tables, s.Name)
+	delete(db.stats, s.Name)
+	db.Monitor.Log(monitor.EvDDL, "drop table %s", s.Name)
+	return &Result{Text: "DROP TABLE"}, nil
+}
+
+func (db *DB) execCheckpoint(s *sql.CheckpointStmt) (*Result, error) {
+	store, err := db.Store(s.Table)
+	if err != nil {
+		return nil, err
+	}
+	if err := store.Checkpoint(); err != nil {
+		return nil, err
+	}
+	db.Monitor.Log(monitor.EvCheckpoint, "checkpoint %s", s.Table)
+	return &Result{Text: "CHECKPOINT"}, nil
+}
+
+func (db *DB) execShow(s *sql.ShowStmt) (*Result, error) {
+	switch s.What {
+	case "tables":
+		db.mu.RLock()
+		var names []string
+		for n := range db.tables {
+			names = append(names, n)
+		}
+		db.mu.RUnlock()
+		sort.Strings(names)
+		res := &Result{Cols: []string{"table", "structure", "rows"}}
+		for _, n := range names {
+			e := db.tables[n]
+			res.Rows = append(res.Rows, []types.Value{
+				types.NewString(n),
+				types.NewString(e.meta.Structure),
+				types.NewInt64(db.TableRows(n)),
+			})
+		}
+		return res, nil
+	case "queries":
+		res := &Result{Cols: []string{"id", "status", "duration", "sql"}}
+		for _, qi := range db.Monitor.Active() {
+			res.Rows = append(res.Rows, []types.Value{
+				types.NewInt64(qi.ID),
+				types.NewString(string(qi.Status)),
+				types.NewString(qi.Duration.String()),
+				types.NewString(qi.SQL),
+			})
+		}
+		return res, nil
+	}
+	return nil, fmt.Errorf("engine: SHOW %q", s.What)
+}
+
+// CancelQuery aborts a running query by monitor ID.
+func (db *DB) CancelQuery(id int64) bool { return db.Monitor.Cancel(id) }
+
+// --- DML helpers ---
+
+// bindRowExprs evaluates a VALUES row into typed column values.
+func bindRowExprs(b *plan.Binder, meta *plan.TableMeta, row []sql.ExprNode) ([]types.Value, error) {
+	if len(row) != meta.Schema.Len() {
+		return nil, fmt.Errorf("engine: INSERT arity %d, want %d", len(row), meta.Schema.Len())
+	}
+	out := make([]types.Value, len(row))
+	for i, en := range row {
+		col := meta.Schema.Cols[i]
+		bound, err := b.BindExprNoCols(en)
+		if err != nil {
+			return nil, err
+		}
+		v, err := expr.EvalRow(bound, nil)
+		if err != nil {
+			return nil, err
+		}
+		cv, err := coerceValue(v, col.Type)
+		if err != nil {
+			return nil, fmt.Errorf("engine: column %q: %w", col.Name, err)
+		}
+		out[i] = cv
+	}
+	return out, nil
+}
+
+// coerceValue converts a literal to a column type.
+func coerceValue(v types.Value, t types.T) (types.Value, error) {
+	if v.Null {
+		if !t.Nullable {
+			return types.Value{}, fmt.Errorf("NULL into NOT NULL column")
+		}
+		return types.NewNull(t.Kind), nil
+	}
+	if v.Kind == t.Kind {
+		return v, nil
+	}
+	switch {
+	case t.Kind == types.KindFloat64 && v.Kind.Numeric():
+		return types.NewFloat64(v.AsFloat()), nil
+	case t.Kind == types.KindInt64 && v.Kind.Integral():
+		return types.NewInt64(v.AsInt()), nil
+	case t.Kind == types.KindInt32 && v.Kind.Integral():
+		i := v.AsInt()
+		if i != int64(int32(i)) {
+			return types.Value{}, fmt.Errorf("value %d overflows INTEGER", i)
+		}
+		return types.NewInt32(int32(i)), nil
+	case t.Kind == types.KindDate && v.Kind == types.KindString:
+		d, err := types.ParseDate(v.Str)
+		if err != nil {
+			return types.Value{}, err
+		}
+		return types.NewDate(d), nil
+	}
+	return types.Value{}, fmt.Errorf("cannot store %v into %v", v.Kind, t.Kind)
+}
+
+// logicalToPhysicalRow decomposes a logical row per the storage convention
+// (values then indicators).
+func logicalToPhysicalRow(logical *types.Schema, row []types.Value) []types.Value {
+	out := make([]types.Value, 0, len(row)+4)
+	for i, v := range row {
+		if v.Null {
+			out = append(out, types.SafeValue(logical.Cols[i].Type.Kind))
+		} else {
+			out = append(out, v)
+		}
+	}
+	for i, c := range logical.Cols {
+		if c.Type.Nullable {
+			out = append(out, types.NewBool(row[i].Null))
+		}
+	}
+	return out
+}
+
+// physicalToLogicalRow reassembles NULLs from a physical row.
+func physicalToLogicalRow(logical *types.Schema, cm rewriter.ColMap, phys []types.Value) []types.Value {
+	out := make([]types.Value, logical.Len())
+	for i := range out {
+		if cm.Ind[i] >= 0 && phys[cm.Ind[i]].Bool() {
+			out[i] = types.NewNull(logical.Cols[i].Type.Kind)
+		} else {
+			v := phys[cm.Val[i]]
+			if logical.Cols[i].Type.Kind == types.KindDate && v.Kind != types.KindDate {
+				v = types.NewDate(int32(v.I64))
+			}
+			out[i] = v
+		}
+	}
+	return out
+}
+
+func (db *DB) entry(name string) (*tableEntry, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	e, ok := db.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("engine: no table %q", name)
+	}
+	return e, nil
+}
+
+func (db *DB) execInsert(ctx context.Context, s *sql.InsertStmt) (*Result, error) {
+	e, err := db.entry(s.Table)
+	if err != nil {
+		return nil, err
+	}
+	var rows [][]types.Value
+	if s.Query != nil {
+		res, err := db.execSelect(ctx, s.Query, "")
+		if err != nil {
+			return nil, err
+		}
+		if len(res.Cols) != e.meta.Schema.Len() {
+			return nil, fmt.Errorf("engine: INSERT SELECT arity %d, want %d", len(res.Cols), e.meta.Schema.Len())
+		}
+		for _, r := range res.Rows {
+			cr := make([]types.Value, len(r))
+			for i, v := range r {
+				cv, err := coerceValue(v, e.meta.Schema.Cols[i].Type)
+				if err != nil {
+					return nil, err
+				}
+				cr[i] = cv
+			}
+			rows = append(rows, cr)
+		}
+	} else {
+		b := db.binder()
+		for _, rexprs := range s.Rows {
+			row, err := bindRowExprs(b, e.meta, rexprs)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, row)
+		}
+	}
+	switch {
+	case e.heap != nil:
+		for _, r := range rows {
+			if _, err := e.heap.Insert(r); err != nil {
+				return nil, err
+			}
+		}
+	default:
+		tx := e.store.Begin()
+		for _, r := range rows {
+			if err := tx.InsertRow(logicalToPhysicalRow(e.meta.Schema, r)); err != nil {
+				tx.Abort()
+				return nil, err
+			}
+		}
+		if err := tx.Commit(); err != nil {
+			return nil, err
+		}
+	}
+	return &Result{Affected: int64(len(rows))}, nil
+}
+
+func (db *DB) execUpdate(ctx context.Context, s *sql.UpdateStmt) (*Result, error) {
+	e, err := db.entry(s.Table)
+	if err != nil {
+		return nil, err
+	}
+	pred, sets, err := db.bindDML(e.meta, s.Where, s.Set)
+	if err != nil {
+		return nil, err
+	}
+	if e.heap != nil {
+		var rids []rowengine.RowID
+		var newRows [][]types.Value
+		err := e.heap.ScanFunc(func(rid rowengine.RowID, row []types.Value) bool {
+			if matchRow(pred, row) {
+				nr, err2 := applySets(e.meta, sets, row)
+				if err2 != nil {
+					err = err2
+					return false
+				}
+				rids = append(rids, rid)
+				newRows = append(newRows, nr)
+			}
+			return true
+		})
+		if err != nil {
+			return nil, err
+		}
+		for i, rid := range rids {
+			if _, err := e.heap.Update(rid, newRows[i]); err != nil {
+				return nil, err
+			}
+		}
+		return &Result{Affected: int64(len(rids))}, nil
+	}
+	// Vectorwise path: one transaction scanning the image positionally.
+	tx := e.store.Begin()
+	rids, rows, err := db.matchingRIDs(ctx, tx, e.meta, pred)
+	if err != nil {
+		tx.Abort()
+		return nil, err
+	}
+	cm := rewriter.PhysicalColMap(e.meta.Schema)
+	for i, rid := range rids {
+		nr, err := applySets(e.meta, sets, rows[i])
+		if err != nil {
+			tx.Abort()
+			return nil, err
+		}
+		for col := range e.meta.Schema.Cols {
+			if types.Equal(nr[col], rows[i][col]) && nr[col].Null == rows[i][col].Null {
+				continue
+			}
+			colT := e.meta.Schema.Cols[col].Type
+			if nr[col].Null {
+				if err := tx.UpdateAt(rid, cm.Ind[col], types.NewBool(true)); err != nil {
+					tx.Abort()
+					return nil, err
+				}
+				continue
+			}
+			if err := tx.UpdateAt(rid, cm.Val[col], nr[col]); err != nil {
+				tx.Abort()
+				return nil, err
+			}
+			if colT.Nullable {
+				if err := tx.UpdateAt(rid, cm.Ind[col], types.NewBool(false)); err != nil {
+					tx.Abort()
+					return nil, err
+				}
+			}
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		return nil, err
+	}
+	return &Result{Affected: int64(len(rids))}, nil
+}
+
+func (db *DB) execDelete(ctx context.Context, s *sql.DeleteStmt) (*Result, error) {
+	e, err := db.entry(s.Table)
+	if err != nil {
+		return nil, err
+	}
+	pred, _, err := db.bindDML(e.meta, s.Where, nil)
+	if err != nil {
+		return nil, err
+	}
+	if e.heap != nil {
+		var rids []rowengine.RowID
+		e.heap.ScanFunc(func(rid rowengine.RowID, row []types.Value) bool {
+			if matchRow(pred, row) {
+				rids = append(rids, rid)
+			}
+			return true
+		})
+		for _, rid := range rids {
+			if err := e.heap.Delete(rid); err != nil {
+				return nil, err
+			}
+		}
+		return &Result{Affected: int64(len(rids))}, nil
+	}
+	tx := e.store.Begin()
+	rids, _, err := db.matchingRIDs(ctx, tx, e.meta, pred)
+	if err != nil {
+		tx.Abort()
+		return nil, err
+	}
+	// Delete from the highest position down so earlier positions stay
+	// valid.
+	for i := len(rids) - 1; i >= 0; i-- {
+		if err := tx.DeleteAt(rids[i]); err != nil {
+			tx.Abort()
+			return nil, err
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		return nil, err
+	}
+	return &Result{Affected: int64(len(rids))}, nil
+}
+
+// bindDML binds a WHERE predicate and SET clauses over a table's logical
+// schema.
+func (db *DB) bindDML(meta *plan.TableMeta, where sql.ExprNode, set []sql.SetClause) (expr.Expr, map[int]expr.Expr, error) {
+	b := db.binder()
+	var pred expr.Expr
+	if where != nil {
+		p, err := b.BindExprOver(meta.Schema, where)
+		if err != nil {
+			return nil, nil, err
+		}
+		if p.Type().Kind != types.KindBool {
+			return nil, nil, fmt.Errorf("engine: WHERE must be boolean")
+		}
+		pred = p
+	}
+	sets := map[int]expr.Expr{}
+	for _, sc := range set {
+		idx := meta.Schema.Find(sc.Col)
+		if idx < 0 {
+			return nil, nil, fmt.Errorf("engine: no column %q", sc.Col)
+		}
+		e, err := b.BindExprOver(meta.Schema, sc.Expr)
+		if err != nil {
+			return nil, nil, err
+		}
+		sets[idx] = e
+	}
+	return pred, sets, nil
+}
+
+func matchRow(pred expr.Expr, row []types.Value) bool {
+	if pred == nil {
+		return true
+	}
+	v, err := expr.EvalRow(pred, row)
+	return err == nil && !v.Null && v.Bool()
+}
+
+func applySets(meta *plan.TableMeta, sets map[int]expr.Expr, row []types.Value) ([]types.Value, error) {
+	out := make([]types.Value, len(row))
+	copy(out, row)
+	for col, e := range sets {
+		v, err := expr.EvalRow(e, row)
+		if err != nil {
+			return nil, err
+		}
+		cv, err := coerceValue(v, meta.Schema.Cols[col].Type)
+		if err != nil {
+			return nil, err
+		}
+		out[col] = cv
+	}
+	return out, nil
+}
+
+// matchingRIDs scans a transaction's image, returning positions and logical
+// rows matching the predicate.
+func (db *DB) matchingRIDs(ctx context.Context, tx *txn.Txn, meta *plan.TableMeta, pred expr.Expr) ([]int64, [][]types.Value, error) {
+	phys := rewriter.PhysicalSchema(meta.Schema)
+	cm := rewriter.PhysicalColMap(meta.Schema)
+	cols := make([]int, phys.Len())
+	for i := range cols {
+		cols[i] = i
+	}
+	src, err := tx.Scan(cols, 0)
+	if err != nil {
+		return nil, nil, err
+	}
+	var rids []int64
+	var rows [][]types.Value
+	b := newBatchFor(src)
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
+		start, n, done, err := src.Next(b)
+		if err != nil {
+			return nil, nil, err
+		}
+		if done {
+			return rids, rows, nil
+		}
+		for i := 0; i < n; i++ {
+			physRow := b.GetRow(i)
+			logical := physicalToLogicalRow(meta.Schema, cm, physRow)
+			if matchRow(pred, logical) {
+				rids = append(rids, start+int64(i))
+				rows = append(rows, logical)
+			}
+		}
+	}
+}
+
+func (db *DB) binder() *plan.Binder {
+	return &plan.Binder{Cat: db, EvalScalarSub: func(sub *sql.SelectStmt) (types.Value, error) {
+		res, err := db.execSelect(context.Background(), sub, "")
+		if err != nil {
+			return types.Value{}, err
+		}
+		if len(res.Cols) != 1 {
+			return types.Value{}, fmt.Errorf("engine: scalar subquery must return one column")
+		}
+		switch len(res.Rows) {
+		case 0:
+			return types.NewNull(types.KindInvalid), fmt.Errorf("engine: scalar subquery returned no rows")
+		case 1:
+			return res.Rows[0][0], nil
+		default:
+			return types.Value{}, fmt.Errorf("engine: scalar subquery returned %d rows", len(res.Rows))
+		}
+	}}
+}
+
+// FormatResult renders a result as an aligned text table (the shell uses
+// it).
+func FormatResult(r *Result) string {
+	if r.Text != "" {
+		return r.Text
+	}
+	var b strings.Builder
+	widths := make([]int, len(r.Cols))
+	for i, c := range r.Cols {
+		widths[i] = len(c)
+	}
+	cells := make([][]string, len(r.Rows))
+	for ri, row := range r.Rows {
+		cells[ri] = make([]string, len(row))
+		for ci, v := range row {
+			s := v.String()
+			cells[ri][ci] = s
+			if ci < len(widths) && len(s) > widths[ci] {
+				widths[ci] = len(s)
+			}
+		}
+	}
+	for i, c := range r.Cols {
+		if i > 0 {
+			b.WriteString(" | ")
+		}
+		fmt.Fprintf(&b, "%-*s", widths[i], c)
+	}
+	b.WriteByte('\n')
+	for i := range r.Cols {
+		if i > 0 {
+			b.WriteString("-+-")
+		}
+		b.WriteString(strings.Repeat("-", widths[i]))
+	}
+	b.WriteByte('\n')
+	for _, row := range cells {
+		for i, s := range row {
+			if i > 0 {
+				b.WriteString(" | ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], s)
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "(%d rows)\n", len(r.Rows))
+	return b.String()
+}

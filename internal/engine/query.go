@@ -1,0 +1,420 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+
+	"vectorwise/internal/algebra"
+	"vectorwise/internal/exec"
+	"vectorwise/internal/expr"
+	"vectorwise/internal/optimizer"
+	"vectorwise/internal/pdt"
+	"vectorwise/internal/plan"
+	"vectorwise/internal/rewriter"
+	"vectorwise/internal/rowengine"
+	"vectorwise/internal/sql"
+	"vectorwise/internal/txn"
+	"vectorwise/internal/types"
+	"vectorwise/internal/vec"
+	"vectorwise/internal/xcompile"
+)
+
+// compiled carries a query through the Figure-1 pipeline stages.
+type compiled struct {
+	logical   plan.Node
+	optimized plan.Node
+	alg       algebra.Node
+	rw        *rewriter.Result
+}
+
+// compileSelect runs parser output through binder → optimizer → cross
+// compiler → rewriter.
+func (db *DB) compileSelect(s *sql.SelectStmt) (*compiled, error) {
+	b := db.binder()
+	logical, err := b.BindSelect(s)
+	if err != nil {
+		return nil, err
+	}
+	opt := optimizer.New(db)
+	optimized := opt.Optimize(logical)
+	alg, err := xcompileNode(optimized)
+	if err != nil {
+		return nil, err
+	}
+	par := db.Parallel
+	if s.Parallel > 0 {
+		par = s.Parallel
+	}
+	rw, err := rewriter.Rewrite(alg, rewriter.Options{
+		Parallel: par,
+		PartsHint: func(table string) int {
+			return db.partsAvailable(table)
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &compiled{logical: logical, optimized: optimized, alg: alg, rw: rw}, nil
+}
+
+// partsAvailable reports how many row-group partitions a table offers for
+// parallel scans; 1 when deltas force the serial (PDT-merging) path.
+func (db *DB) partsAvailable(table string) int {
+	e, err := db.entry(table)
+	if err != nil || e.store == nil {
+		return 1
+	}
+	if e.store.PendingOps() > 0 {
+		return 1
+	}
+	blocks := e.store.Stable().NumBlocks()
+	if blocks < 1 {
+		return 1
+	}
+	return blocks
+}
+
+func (db *DB) execSelect(ctx context.Context, s *sql.SelectStmt, text string) (*Result, error) {
+	c, err := db.compileSelect(s)
+	if err != nil {
+		return nil, err
+	}
+	qi, qctx := db.Monitor.StartQuery(ctx, text)
+	res, err := db.runCompiled(qctx, c, s)
+	var rows int64
+	if res != nil {
+		rows = int64(len(res.Rows))
+	}
+	db.Monitor.FinishQuery(qi, rows, err)
+	return res, err
+}
+
+func (db *DB) runCompiled(ctx context.Context, c *compiled, s *sql.SelectStmt) (*Result, error) {
+	// Snapshot transactions per vectorwise table (consistent reads).
+	session := newQuerySession(db)
+	defer session.close()
+	root, err := session.build(c.rw.Node)
+	if err != nil {
+		return nil, err
+	}
+	ectx := exec.NewCtx(ctx)
+	ectx.Mode = expr.Mode{Checked: true}
+	if db.VectorSize > 0 {
+		ectx.VecSize = db.VectorSize
+	}
+	if s != nil && s.VectorSize > 0 {
+		ectx.VecSize = s.VectorSize
+	}
+	physRows, err := exec.Collect(ectx, root)
+	if err != nil {
+		return nil, err
+	}
+	logical := c.rw.Logical
+	res := &Result{Cols: logical.Names()}
+	for _, pr := range physRows {
+		res.Rows = append(res.Rows, physicalToLogicalRow(logical, c.rw.ColMap, pr))
+	}
+	return res, nil
+}
+
+func (db *DB) execExplain(ctx context.Context, s *sql.ExplainStmt) (*Result, error) {
+	sel, ok := s.Query.(*sql.SelectStmt)
+	if !ok {
+		return nil, fmt.Errorf("engine: EXPLAIN supports SELECT only")
+	}
+	c, err := db.compileSelect(sel)
+	if err != nil {
+		return nil, err
+	}
+	text := "== logical plan ==\n" + plan.Format(c.logical) +
+		"== optimized plan ==\n" + plan.Format(c.optimized) +
+		"== X100 algebra (after rewriter) ==\n" + algebra.Format(c.rw.Node)
+	if s.Profile {
+		res, err := db.runCompiled(ctx, c, sel)
+		if err != nil {
+			return nil, err
+		}
+		text += fmt.Sprintf("== execution ==\n%d rows\n", len(res.Rows))
+	}
+	return &Result{Text: text}, nil
+}
+
+// xcompileNode invokes the cross compiler (Figure 1's new component).
+func xcompileNode(n plan.Node) (algebra.Node, error) { return xcompile.Compile(n) }
+
+// newBatchFor allocates a batch matching a positional source.
+func newBatchFor(src pdt.BatchSource) *vec.Batch {
+	return vec.NewBatch(src.Kinds(), vec.DefaultSize)
+}
+
+// querySession owns per-query snapshots of every vectorwise table touched.
+type querySession struct {
+	db  *DB
+	txs map[string]*txn.Txn
+}
+
+func newQuerySession(db *DB) *querySession {
+	return &querySession{db: db, txs: map[string]*txn.Txn{}}
+}
+
+func (qs *querySession) close() {
+	for _, tx := range qs.txs {
+		tx.Abort()
+	}
+}
+
+func (qs *querySession) txFor(table string) (*txn.Txn, error) {
+	if tx, ok := qs.txs[table]; ok {
+		return tx, nil
+	}
+	e, err := qs.db.entry(table)
+	if err != nil {
+		return nil, err
+	}
+	if e.store == nil {
+		return nil, fmt.Errorf("engine: %q is not a vectorwise table", table)
+	}
+	tx := e.store.Begin()
+	qs.txs[table] = tx
+	return tx, nil
+}
+
+// build instantiates kernel operators from physical algebra.
+func (qs *querySession) build(n algebra.Node) (exec.Operator, error) {
+	switch t := n.(type) {
+	case *algebra.Scan:
+		return qs.buildScan(t)
+	case *algebra.Values:
+		return exec.NewValues(t.Out, t.Rows), nil
+	case *algebra.Select:
+		child, err := qs.build(t.Child)
+		if err != nil {
+			return nil, err
+		}
+		return exec.NewSelect(child, t.Pred), nil
+	case *algebra.Project:
+		child, err := qs.build(t.Child)
+		if err != nil {
+			return nil, err
+		}
+		return exec.NewProject(child, t.Exprs), nil
+	case *algebra.Aggr:
+		child, err := qs.build(t.Child)
+		if err != nil {
+			return nil, err
+		}
+		aggs := make([]exec.AggSpec, len(t.Aggs))
+		for i, a := range t.Aggs {
+			fn, err := aggFn(a.Fn)
+			if err != nil {
+				return nil, err
+			}
+			aggs[i] = exec.AggSpec{Fn: fn, Col: a.Col}
+		}
+		return exec.NewHashAgg(child, t.GroupCols, aggs)
+	case *algebra.HashJoin:
+		left, err := qs.build(t.Left)
+		if err != nil {
+			return nil, err
+		}
+		right, err := qs.build(t.Right)
+		if err != nil {
+			return nil, err
+		}
+		var jt exec.JoinType
+		switch t.Kind {
+		case algebra.Inner:
+			jt = exec.Inner
+		case algebra.LeftOuter:
+			jt = exec.LeftOuter
+		case algebra.Semi:
+			jt = exec.Semi
+		case algebra.Anti:
+			jt = exec.Anti
+		case algebra.AntiNullAware:
+			jt = exec.AntiNullAware
+		}
+		hj := exec.NewHashJoin(left, right, t.LeftKeys, t.RightKeys, jt)
+		hj.LeftKeyNull = t.LeftKeyNull
+		hj.RightKeyNull = t.RightKeyNull
+		return hj, nil
+	case *algebra.Sort:
+		child, err := qs.build(t.Child)
+		if err != nil {
+			return nil, err
+		}
+		keys := make([]exec.SortKey, len(t.Keys))
+		for i, k := range t.Keys {
+			keys[i] = exec.SortKey{Col: k.Col, Desc: k.Desc}
+		}
+		return exec.NewSort(child, keys), nil
+	case *algebra.TopN:
+		child, err := qs.build(t.Child)
+		if err != nil {
+			return nil, err
+		}
+		keys := make([]exec.SortKey, len(t.Keys))
+		for i, k := range t.Keys {
+			keys[i] = exec.SortKey{Col: k.Col, Desc: k.Desc}
+		}
+		return exec.NewTopN(child, keys, int(t.N)), nil
+	case *algebra.Limit:
+		child, err := qs.build(t.Child)
+		if err != nil {
+			return nil, err
+		}
+		return exec.NewLimit(child, t.Offset, t.N), nil
+	case *algebra.UnionAll:
+		kids := make([]exec.Operator, len(t.Kids))
+		for i, k := range t.Kids {
+			c, err := qs.build(k)
+			if err != nil {
+				return nil, err
+			}
+			kids[i] = c
+		}
+		return exec.NewUnion(kids...)
+	case *algebra.XchgUnion:
+		kids := make([]exec.Operator, len(t.Kids))
+		for i, k := range t.Kids {
+			c, err := qs.build(k)
+			if err != nil {
+				return nil, err
+			}
+			kids[i] = c
+		}
+		return exec.NewXchgUnion(kids...), nil
+	}
+	return nil, fmt.Errorf("engine: cannot build %T", n)
+}
+
+func aggFn(fn string) (exec.AggFn, error) {
+	switch fn {
+	case "count":
+		return exec.AggCount, nil
+	case "sum":
+		return exec.AggSum, nil
+	case "min":
+		return exec.AggMin, nil
+	case "max":
+		return exec.AggMax, nil
+	case "avg":
+		return exec.AggAvg, nil
+	}
+	return 0, fmt.Errorf("engine: aggregate %q", fn)
+}
+
+// buildScan produces the positional source for a table scan.
+func (qs *querySession) buildScan(t *algebra.Scan) (exec.Operator, error) {
+	e, err := qs.db.entry(t.Table)
+	if err != nil {
+		return nil, err
+	}
+	kinds := make([]types.Kind, len(t.Cols))
+	if e.heap != nil {
+		// Classic table scanned into the vectorized pipeline.
+		phys := rewriter.PhysicalSchema(e.meta.Schema)
+		idxs := make([]int, len(t.Cols))
+		for i, name := range t.Cols {
+			idx := phys.Find(name)
+			if idx < 0 {
+				return nil, fmt.Errorf("engine: heap table %s has no column %q", t.Table, name)
+			}
+			idxs[i] = idx
+			kinds[i] = phys.Cols[idx].Type.Kind
+		}
+		return newHeapScan(e.heap, e.meta.Schema, idxs, kinds), nil
+	}
+	physSchema := e.store.Schema()
+	idxs := make([]int, len(t.Cols))
+	for i, name := range t.Cols {
+		idx := physSchema.Find(name)
+		if idx < 0 {
+			return nil, fmt.Errorf("engine: table %s has no column %q", t.Table, name)
+		}
+		idxs[i] = idx
+		kinds[i] = physSchema.Cols[idx].Type.Kind
+	}
+	table := t.Table
+	part, parts := t.Part, t.Parts
+	return exec.NewColScan(kinds, func(vecSize int) (pdt.BatchSource, error) {
+		tx, err := qs.txFor(table)
+		if err != nil {
+			return nil, err
+		}
+		if parts > 1 {
+			if !tx.DeltaFree() {
+				return nil, fmt.Errorf("engine: partitioned scan of %s with pending deltas", table)
+			}
+			return tx.StableSnapshot().NewScannerPart(idxs, vecSize, part, parts)
+		}
+		return tx.Scan(idxs, vecSize)
+	}), nil
+}
+
+// heapScanOp adapts a heap table into batches of physical (decomposed)
+// columns so classic tables participate in vectorized plans.
+type heapScanOp struct {
+	heap    *rowengine.HeapTable
+	logical *types.Schema
+	idxs    []int // physical column indexes to produce
+	kinds   []types.Kind
+	cm      rewriter.ColMap
+
+	ctx  *exec.Ctx
+	rows [][]types.Value // logical row snapshot
+	at   int
+	buf  *vec.Batch
+}
+
+func newHeapScan(h *rowengine.HeapTable, logical *types.Schema, idxs []int, kinds []types.Kind) exec.Operator {
+	return &heapScanOp{heap: h, logical: logical, idxs: idxs, kinds: kinds,
+		cm: rewriter.PhysicalColMap(logical)}
+}
+
+// Kinds implements exec.Operator.
+func (h *heapScanOp) Kinds() []types.Kind { return h.kinds }
+
+// Open implements exec.Operator: snapshots the heap (classic engines
+// typically latch pages; a snapshot keeps the adapter simple).
+func (h *heapScanOp) Open(ctx *exec.Ctx) error {
+	h.ctx = ctx
+	h.at = 0
+	h.rows = h.rows[:0]
+	h.buf = vec.NewBatch(h.kinds, ctx.VecSize)
+	if h.buf.Vecs[0].Cap() == 0 {
+		h.buf = vec.NewBatch(h.kinds, vec.DefaultSize)
+	}
+	return h.heap.ScanFunc(func(_ rowengine.RowID, row []types.Value) bool {
+		h.rows = append(h.rows, row)
+		return true
+	})
+}
+
+// Next implements exec.Operator.
+func (h *heapScanOp) Next() (*vec.Batch, error) {
+	if err := h.ctx.Ctx.Err(); err != nil {
+		return nil, err
+	}
+	if h.at >= len(h.rows) {
+		return nil, nil
+	}
+	n := h.buf.Vecs[0].Cap()
+	if rem := len(h.rows) - h.at; n > rem {
+		n = rem
+	}
+	h.buf.Reset()
+	h.buf.SetLen(n)
+	for i := 0; i < n; i++ {
+		row := h.rows[h.at+i]
+		phys := logicalToPhysicalRow(h.logical, row)
+		for c, pi := range h.idxs {
+			h.buf.Vecs[c].Set(i, phys[pi])
+		}
+	}
+	h.at += n
+	return h.buf, nil
+}
+
+// Close implements exec.Operator.
+func (h *heapScanOp) Close() {}

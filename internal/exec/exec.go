@@ -1,0 +1,165 @@
+// Package exec is the X100 execution kernel: vectorized physical operators
+// composed into pull-based pipelines. Operators exchange *vec.Batch values
+// (~1K rows per column) and do all per-value work inside the primitive
+// library — the design that makes claim C1 (">10× faster than conventional
+// engines") hold.
+//
+// Every operator polls the query context between batches, which is how
+// query cancellation (claim C11) propagates through arbitrarily deep —
+// and, with the Xchg operators, parallel — plans.
+package exec
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"time"
+
+	"vectorwise/internal/expr"
+	"vectorwise/internal/types"
+	"vectorwise/internal/vec"
+)
+
+// Operator is a vectorized physical operator.
+type Operator interface {
+	// Kinds describes the output vectors.
+	Kinds() []types.Kind
+	// Open prepares the operator tree for execution.
+	Open(ctx *Ctx) error
+	// Next returns the next batch, or nil at end of stream. The batch is
+	// owned by the operator and valid until the following Next or Close.
+	Next() (*vec.Batch, error)
+	// Close releases resources; must be idempotent and callable after a
+	// failed Open.
+	Close()
+}
+
+// Ctx carries per-query execution state.
+type Ctx struct {
+	// Ctx cancels the query (user cancellation, timeouts).
+	Ctx context.Context
+	// VecSize is the vector length; 0 means vec.DefaultSize. Experiment E2
+	// sweeps it.
+	VecSize int
+	// Mode selects checked/naive arithmetic for expression compilation.
+	Mode expr.Mode
+	// Profile enables per-operator counters (claim C12: monitoring).
+	Profile bool
+}
+
+// NewCtx builds a context with defaults.
+func NewCtx(ctx context.Context) *Ctx {
+	return &Ctx{Ctx: ctx, VecSize: vec.DefaultSize}
+}
+
+func (c *Ctx) vecSize() int {
+	if c.VecSize <= 0 {
+		return vec.DefaultSize
+	}
+	return c.VecSize
+}
+
+// ErrCancelled reports query cancellation (wraps the context error).
+var ErrCancelled = errors.New("exec: query cancelled")
+
+// poll checks for cancellation; operators call it once per batch.
+func (c *Ctx) poll() error {
+	select {
+	case <-c.Ctx.Done():
+		return errors.Join(ErrCancelled, c.Ctx.Err())
+	default:
+		return nil
+	}
+}
+
+// OpStats are per-operator profile counters.
+type OpStats struct {
+	Batches int64
+	Rows    int64
+	Nanos   int64
+}
+
+// Profiled wraps an operator with counters when profiling is on.
+type Profiled struct {
+	Name  string
+	Child Operator
+	stats OpStats
+	on    bool
+}
+
+// NewProfiled wraps child.
+func NewProfiled(name string, child Operator) *Profiled {
+	return &Profiled{Name: name, Child: child}
+}
+
+// Kinds implements Operator.
+func (p *Profiled) Kinds() []types.Kind { return p.Child.Kinds() }
+
+// Open implements Operator.
+func (p *Profiled) Open(ctx *Ctx) error {
+	p.on = ctx.Profile
+	return p.Child.Open(ctx)
+}
+
+// Next implements Operator.
+func (p *Profiled) Next() (*vec.Batch, error) {
+	if !p.on {
+		return p.Child.Next()
+	}
+	t0 := time.Now()
+	b, err := p.Child.Next()
+	atomic.AddInt64(&p.stats.Nanos, int64(time.Since(t0)))
+	if b != nil {
+		atomic.AddInt64(&p.stats.Batches, 1)
+		atomic.AddInt64(&p.stats.Rows, int64(b.Rows()))
+	}
+	return b, err
+}
+
+// Close implements Operator.
+func (p *Profiled) Close() { p.Child.Close() }
+
+// Stats returns a snapshot of the counters.
+func (p *Profiled) Stats() OpStats {
+	return OpStats{
+		Batches: atomic.LoadInt64(&p.stats.Batches),
+		Rows:    atomic.LoadInt64(&p.stats.Rows),
+		Nanos:   atomic.LoadInt64(&p.stats.Nanos),
+	}
+}
+
+// Run drains an operator tree, passing each batch to emit; it handles
+// Open/Close and converts cancellation into a clean error.
+func Run(ctx *Ctx, root Operator, emit func(*vec.Batch) error) error {
+	if err := root.Open(ctx); err != nil {
+		root.Close()
+		return err
+	}
+	defer root.Close()
+	for {
+		b, err := root.Next()
+		if err != nil {
+			return err
+		}
+		if b == nil {
+			return nil
+		}
+		if emit != nil {
+			if err := emit(b); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// Collect drains an operator into boxed rows (tests, small results).
+func Collect(ctx *Ctx, root Operator) ([][]types.Value, error) {
+	var out [][]types.Value
+	err := Run(ctx, root, func(b *vec.Batch) error {
+		for i := 0; i < b.Rows(); i++ {
+			out = append(out, b.GetRow(i))
+		}
+		return nil
+	})
+	return out, err
+}

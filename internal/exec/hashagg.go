@@ -1,0 +1,519 @@
+package exec
+
+import (
+	"fmt"
+
+	"vectorwise/internal/primitives"
+	"vectorwise/internal/types"
+	"vectorwise/internal/vec"
+)
+
+// AggFn enumerates aggregate functions.
+type AggFn uint8
+
+// The aggregate functions. The kernel is NULL-oblivious: COUNT(col) over a
+// NULLable column is rewritten upstream into SUM over the negated
+// indicator, so only these physical aggregates exist.
+const (
+	AggCount AggFn = iota // COUNT(*)
+	AggSum
+	AggMin
+	AggMax
+	AggAvg
+)
+
+// String names the aggregate.
+func (f AggFn) String() string {
+	switch f {
+	case AggCount:
+		return "count"
+	case AggSum:
+		return "sum"
+	case AggMin:
+		return "min"
+	case AggMax:
+		return "max"
+	case AggAvg:
+		return "avg"
+	default:
+		return "agg?"
+	}
+}
+
+// AggSpec is one aggregate over an input column (-1 for COUNT(*)).
+type AggSpec struct {
+	Fn  AggFn
+	Col int
+}
+
+// ResultKind returns the aggregate's output kind over the given input kind.
+func (a AggSpec) ResultKind(in []types.Kind) (types.Kind, error) {
+	switch a.Fn {
+	case AggCount:
+		return types.KindInt64, nil
+	case AggAvg:
+		return types.KindFloat64, nil
+	case AggSum:
+		switch in[a.Col] {
+		case types.KindInt32, types.KindInt64:
+			return types.KindInt64, nil
+		case types.KindFloat64:
+			return types.KindFloat64, nil
+		}
+		return 0, fmt.Errorf("exec: sum over %v", in[a.Col])
+	case AggMin, AggMax:
+		return in[a.Col], nil
+	}
+	return 0, fmt.Errorf("exec: unknown aggregate")
+}
+
+// HashAgg groups its input by the group columns and computes aggregates;
+// with no group columns it produces exactly one row (scalar aggregation).
+// Output: group columns, then aggregates, in declaration order.
+type HashAgg struct {
+	Child     Operator
+	GroupCols []int
+	Aggs      []AggSpec
+
+	ctx     *Ctx
+	kinds   []types.Kind
+	inK     []types.Kind
+	keys    []*vec.Vector // per-group key values
+	hashes  []uint64      // per-group hash
+	heads   []int32
+	next    []int32
+	mask    uint64
+	states  []*aggState
+	nGroups int
+
+	hashBuf  []uint64
+	groupBuf []int32
+	built    bool
+	emitAt   int
+	out      *vec.Batch
+}
+
+type aggState struct {
+	spec AggSpec
+	kind types.Kind // result kind
+	inK  types.Kind
+	sumI []int64
+	sumF []float64
+	cnt  []int64
+	mm   *vec.Vector
+	seen []bool
+}
+
+// NewHashAgg builds an aggregation operator.
+func NewHashAgg(child Operator, groupCols []int, aggs []AggSpec) (*HashAgg, error) {
+	h := &HashAgg{Child: child, GroupCols: groupCols, Aggs: aggs}
+	h.inK = child.Kinds()
+	for _, g := range groupCols {
+		h.kinds = append(h.kinds, h.inK[g])
+	}
+	for _, a := range aggs {
+		k, err := a.ResultKind(h.inK)
+		if err != nil {
+			return nil, err
+		}
+		h.kinds = append(h.kinds, k)
+	}
+	return h, nil
+}
+
+// Kinds implements Operator.
+func (h *HashAgg) Kinds() []types.Kind { return h.kinds }
+
+// Open implements Operator.
+func (h *HashAgg) Open(ctx *Ctx) error {
+	h.ctx = ctx
+	h.built = false
+	h.emitAt = 0
+	h.nGroups = 0
+	h.keys = make([]*vec.Vector, len(h.GroupCols))
+	for i, g := range h.GroupCols {
+		h.keys[i] = vec.New(h.inK[g], 64)
+	}
+	h.hashes = h.hashes[:0]
+	nb := 1024
+	h.heads = make([]int32, nb)
+	for i := range h.heads {
+		h.heads[i] = -1
+	}
+	h.mask = uint64(nb - 1)
+	h.next = h.next[:0]
+	h.states = make([]*aggState, len(h.Aggs))
+	for i, a := range h.Aggs {
+		k, _ := a.ResultKind(h.inK)
+		st := &aggState{spec: a, kind: k}
+		if a.Col >= 0 {
+			st.inK = h.inK[a.Col]
+		}
+		if a.Fn == AggMin || a.Fn == AggMax {
+			st.mm = vec.New(k, 64)
+		}
+		h.states[i] = st
+	}
+	h.out = vec.NewBatch(h.kinds, ctx.vecSize())
+	return h.Child.Open(ctx)
+}
+
+// Next implements Operator.
+func (h *HashAgg) Next() (*vec.Batch, error) {
+	if !h.built {
+		if err := h.consume(); err != nil {
+			return nil, err
+		}
+		h.built = true
+	}
+	// Scalar aggregation always emits one row.
+	if len(h.GroupCols) == 0 && h.nGroups == 0 && h.emitAt == 0 {
+		h.ensureGroups(1)
+		h.nGroups = 1
+	}
+	if h.emitAt >= h.nGroups {
+		return nil, nil
+	}
+	if err := h.ctx.poll(); err != nil {
+		return nil, err
+	}
+	n := h.ctx.vecSize()
+	if rem := h.nGroups - h.emitAt; n > rem {
+		n = rem
+	}
+	h.out.Reset()
+	h.out.SetLen(n)
+	for c := range h.GroupCols {
+		h.out.Vecs[c].CopyFrom(sliceVec(h.keys[c], h.emitAt, n), nil, n)
+	}
+	base := len(h.GroupCols)
+	for ai, st := range h.states {
+		ov := h.out.Vecs[base+ai]
+		for i := 0; i < n; i++ {
+			g := h.emitAt + i
+			switch st.spec.Fn {
+			case AggCount:
+				ov.I64[i] = st.cnt[g]
+			case AggSum:
+				if st.kind == types.KindInt64 {
+					ov.I64[i] = st.sumI[g]
+				} else {
+					ov.F64[i] = st.sumF[g]
+				}
+			case AggAvg:
+				if st.cnt[g] > 0 {
+					ov.F64[i] = st.sumF[g] / float64(st.cnt[g])
+				} else {
+					ov.F64[i] = 0
+				}
+			case AggMin, AggMax:
+				ov.Set(i, st.mm.Get(g))
+			}
+		}
+	}
+	h.emitAt += n
+	return h.out, nil
+}
+
+func sliceVec(v *vec.Vector, off, n int) *vec.Vector {
+	out := vec.New(v.Kind, 0)
+	switch v.Kind {
+	case types.KindBool:
+		out.Bool = v.Bool[off : off+n]
+	case types.KindInt32, types.KindDate:
+		out.I32 = v.I32[off : off+n]
+	case types.KindInt64:
+		out.I64 = v.I64[off : off+n]
+	case types.KindFloat64:
+		out.F64 = v.F64[off : off+n]
+	case types.KindString:
+		out.Str = v.Str[off : off+n]
+	}
+	out.SetLen(n)
+	return out
+}
+
+// consume drains the child, building groups and folding aggregates.
+func (h *HashAgg) consume() error {
+	for {
+		if err := h.ctx.poll(); err != nil {
+			return err
+		}
+		b, err := h.Child.Next()
+		if err != nil {
+			return err
+		}
+		if b == nil {
+			return nil
+		}
+		rows := b.Rows()
+		if rows == 0 {
+			continue
+		}
+		if len(h.GroupCols) == 0 {
+			h.ensureGroups(1)
+			if h.nGroups == 0 {
+				h.nGroups = 1
+			}
+			if cap(h.groupBuf) < rows {
+				h.groupBuf = make([]int32, rows)
+			}
+			g := h.groupBuf[:rows]
+			for i := range g {
+				g[i] = 0
+			}
+			h.fold(g, b)
+			continue
+		}
+		if cap(h.hashBuf) < rows {
+			h.hashBuf = make([]uint64, rows)
+		}
+		hv := h.hashBuf[:rows]
+		if err := hashKeys(hv, b.Vecs, h.GroupCols, b.Sel, b.Full()); err != nil {
+			return err
+		}
+		if cap(h.groupBuf) < rows {
+			h.groupBuf = make([]int32, rows)
+		}
+		groups := h.groupBuf[:rows]
+		for k := 0; k < rows; k++ {
+			phys := int32(b.RowIndex(k))
+			gid := h.findOrInsert(hv[k], b, phys)
+			groups[k] = gid
+		}
+		h.fold(groups, b)
+	}
+}
+
+func (h *HashAgg) findOrInsert(hash uint64, b *vec.Batch, phys int32) int32 {
+	bkt := hash & h.mask
+	for g := h.heads[bkt]; g >= 0; g = h.next[g] {
+		if h.hashes[g] == hash && h.groupKeyEq(int(g), b, phys) {
+			return g
+		}
+	}
+	// New group.
+	gid := int32(h.nGroups)
+	h.nGroups++
+	h.ensureGroups(h.nGroups)
+	for c, gc := range h.GroupCols {
+		h.keys[c].Append(b.Vecs[gc].Get(int(phys)))
+	}
+	h.hashes = append(h.hashes, hash)
+	h.next = append(h.next, h.heads[bkt])
+	h.heads[bkt] = gid
+	if uint64(h.nGroups)*2 > h.mask {
+		h.rehash()
+	}
+	return gid
+}
+
+func (h *HashAgg) groupKeyEq(g int, b *vec.Batch, phys int32) bool {
+	for c, gc := range h.GroupCols {
+		kv := h.keys[c]
+		iv := b.Vecs[gc]
+		switch kv.Kind {
+		case types.KindBool:
+			if kv.Bool[g] != iv.Bool[phys] {
+				return false
+			}
+		case types.KindInt32, types.KindDate:
+			if kv.I32[g] != iv.I32[phys] {
+				return false
+			}
+		case types.KindInt64:
+			if kv.I64[g] != iv.I64[phys] {
+				return false
+			}
+		case types.KindFloat64:
+			if kv.F64[g] != iv.F64[phys] {
+				return false
+			}
+		case types.KindString:
+			if kv.Str[g] != iv.Str[phys] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func (h *HashAgg) rehash() {
+	nb := (int(h.mask) + 1) * 2
+	h.heads = make([]int32, nb)
+	for i := range h.heads {
+		h.heads[i] = -1
+	}
+	h.mask = uint64(nb - 1)
+	for g := 0; g < h.nGroups; g++ {
+		bkt := h.hashes[g] & h.mask
+		h.next[g] = h.heads[bkt]
+		h.heads[bkt] = int32(g)
+	}
+}
+
+// ensureGroups grows every aggregate state to hold n groups.
+func (h *HashAgg) ensureGroups(n int) {
+	for _, st := range h.states {
+		switch st.spec.Fn {
+		case AggCount:
+			st.cnt = growI64(st.cnt, n)
+		case AggSum:
+			if st.kind == types.KindInt64 {
+				st.sumI = growI64(st.sumI, n)
+			} else {
+				st.sumF = growF64(st.sumF, n)
+			}
+		case AggAvg:
+			st.sumF = growF64(st.sumF, n)
+			st.cnt = growI64(st.cnt, n)
+		case AggMin, AggMax:
+			st.mm.Grow(n * 2)
+			st.mm.SetLen(n)
+			for len(st.seen) < n {
+				st.seen = append(st.seen, false)
+			}
+		}
+	}
+}
+
+func growI64(s []int64, n int) []int64 {
+	for len(s) < n {
+		s = append(s, 0)
+	}
+	return s
+}
+
+func growF64(s []float64, n int) []float64 {
+	for len(s) < n {
+		s = append(s, 0)
+	}
+	return s
+}
+
+// fold applies one batch's rows to the aggregate states. groups is parallel
+// to the batch's logical rows.
+func (h *HashAgg) fold(groups []int32, b *vec.Batch) {
+	sel, n := b.Sel, b.Full()
+	for _, st := range h.states {
+		switch st.spec.Fn {
+		case AggCount:
+			primitives.CountGrouped(st.cnt, groups, sel, n)
+		case AggSum:
+			h.foldSum(st, groups, b, sel, n)
+		case AggAvg:
+			h.foldAvg(st, groups, b, sel, n)
+		case AggMin:
+			h.foldMinMax(st, groups, b, sel, n, true)
+		case AggMax:
+			h.foldMinMax(st, groups, b, sel, n, false)
+		}
+	}
+}
+
+func (h *HashAgg) foldSum(st *aggState, groups []int32, b *vec.Batch, sel []int32, n int) {
+	v := b.Vecs[st.spec.Col]
+	switch st.inK {
+	case types.KindInt32:
+		if sel == nil {
+			for k := 0; k < n; k++ {
+				st.sumI[groups[k]] += int64(v.I32[k])
+			}
+		} else {
+			for k, i := range sel {
+				st.sumI[groups[k]] += int64(v.I32[i])
+			}
+		}
+	case types.KindInt64:
+		primitives.SumGrouped(st.sumI, groups, v.I64, sel, n)
+	case types.KindFloat64:
+		primitives.SumGrouped(st.sumF, groups, v.F64, sel, n)
+	}
+}
+
+func (h *HashAgg) foldAvg(st *aggState, groups []int32, b *vec.Batch, sel []int32, n int) {
+	v := b.Vecs[st.spec.Col]
+	primitives.CountGrouped(st.cnt, groups, sel, n)
+	switch st.inK {
+	case types.KindInt32:
+		if sel == nil {
+			for k := 0; k < n; k++ {
+				st.sumF[groups[k]] += float64(v.I32[k])
+			}
+		} else {
+			for k, i := range sel {
+				st.sumF[groups[k]] += float64(v.I32[i])
+			}
+		}
+	case types.KindInt64:
+		if sel == nil {
+			for k := 0; k < n; k++ {
+				st.sumF[groups[k]] += float64(v.I64[k])
+			}
+		} else {
+			for k, i := range sel {
+				st.sumF[groups[k]] += float64(v.I64[i])
+			}
+		}
+	case types.KindFloat64:
+		primitives.SumGrouped(st.sumF, groups, v.F64, sel, n)
+	}
+}
+
+func (h *HashAgg) foldMinMax(st *aggState, groups []int32, b *vec.Batch, sel []int32, n int, isMin bool) {
+	v := b.Vecs[st.spec.Col]
+	switch st.inK {
+	case types.KindInt32, types.KindDate:
+		if isMin {
+			primitives.MinGrouped(st.mm.I32, st.seen, groups, v.I32, sel, n)
+		} else {
+			primitives.MaxGrouped(st.mm.I32, st.seen, groups, v.I32, sel, n)
+		}
+	case types.KindInt64:
+		if isMin {
+			primitives.MinGrouped(st.mm.I64, st.seen, groups, v.I64, sel, n)
+		} else {
+			primitives.MaxGrouped(st.mm.I64, st.seen, groups, v.I64, sel, n)
+		}
+	case types.KindFloat64:
+		if isMin {
+			primitives.MinGrouped(st.mm.F64, st.seen, groups, v.F64, sel, n)
+		} else {
+			primitives.MaxGrouped(st.mm.F64, st.seen, groups, v.F64, sel, n)
+		}
+	case types.KindString:
+		if isMin {
+			primitives.MinGrouped(st.mm.Str, st.seen, groups, v.Str, sel, n)
+		} else {
+			primitives.MaxGrouped(st.mm.Str, st.seen, groups, v.Str, sel, n)
+		}
+	case types.KindBool:
+		// MIN/MAX over booleans: false < true.
+		if sel == nil {
+			for k := 0; k < n; k++ {
+				foldBoolMM(st, groups[k], v.Bool[k], isMin)
+			}
+		} else {
+			for k, i := range sel {
+				foldBoolMM(st, groups[k], v.Bool[i], isMin)
+			}
+		}
+	}
+}
+
+func foldBoolMM(st *aggState, g int32, val bool, isMin bool) {
+	if !st.seen[g] {
+		st.mm.Bool[g] = val
+		st.seen[g] = true
+		return
+	}
+	if isMin && !val {
+		st.mm.Bool[g] = false
+	}
+	if !isMin && val {
+		st.mm.Bool[g] = true
+	}
+}
+
+// Close implements Operator.
+func (h *HashAgg) Close() { h.Child.Close() }

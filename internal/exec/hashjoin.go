@@ -1,0 +1,471 @@
+package exec
+
+import (
+	"fmt"
+	"math/bits"
+
+	"vectorwise/internal/primitives"
+	"vectorwise/internal/types"
+	"vectorwise/internal/vec"
+)
+
+// JoinType selects the join semantics.
+type JoinType uint8
+
+// The join types. AntiNullAware implements SQL NOT IN semantics — the
+// paper's "NULL intricacies" bullet (claim C10): a NULL anywhere on the
+// build side empties the result, and probe rows with NULL keys never
+// qualify. The rewriter decomposes NULLable keys into value+indicator
+// columns and selects this type.
+const (
+	Inner JoinType = iota
+	LeftOuter
+	Semi
+	Anti
+	AntiNullAware
+)
+
+// String names the join type.
+func (t JoinType) String() string {
+	switch t {
+	case Inner:
+		return "inner"
+	case LeftOuter:
+		return "leftouter"
+	case Semi:
+		return "semi"
+	case Anti:
+		return "anti"
+	case AntiNullAware:
+		return "anti-nullaware"
+	default:
+		return "join?"
+	}
+}
+
+// HashJoin joins Left (probe side) against Right (build side) on equality
+// of the key columns.
+//
+// Output schemas:
+//   - Inner:      left columns ++ right columns
+//   - LeftOuter:  left columns ++ right columns ++ BOOL match indicator
+//     (right columns hold safe values on non-matches; the rewriter turns
+//     the indicator into the NULL indicators of right columns)
+//   - Semi/Anti:  left columns only
+type HashJoin struct {
+	Left, Right         Operator
+	LeftKeys, RightKeys []int
+	Type                JoinType
+	// Null-indicator columns for AntiNullAware; -1 when keys are
+	// non-nullable.
+	LeftKeyNull, RightKeyNull int
+
+	ctx *Ctx
+
+	// Build state.
+	build      []*vec.Vector // compacted build columns
+	buildRows  int
+	heads      []int32
+	next       []int32
+	mask       uint64
+	hasNullKey bool
+	cmps       []func(buildRow int32, probe *vec.Batch, phys int32) bool
+
+	// Probe state.
+	probe     *vec.Batch
+	hashBuf   []uint64
+	probeIdx  []int32 // match pairs pending emission
+	buildIdx  []int32
+	matchedBf []bool
+	emitAt    int
+	selBuf    []int32
+	out       *vec.Batch
+	outSel    vec.Batch
+	kinds     []types.Kind
+}
+
+// NewHashJoin builds a hash join.
+func NewHashJoin(left, right Operator, leftKeys, rightKeys []int, jt JoinType) *HashJoin {
+	h := &HashJoin{Left: left, Right: right, LeftKeys: leftKeys, RightKeys: rightKeys,
+		Type: jt, LeftKeyNull: -1, RightKeyNull: -1}
+	switch jt {
+	case Inner:
+		h.kinds = append(append([]types.Kind{}, left.Kinds()...), right.Kinds()...)
+	case LeftOuter:
+		h.kinds = append(append([]types.Kind{}, left.Kinds()...), right.Kinds()...)
+		h.kinds = append(h.kinds, types.KindBool)
+	default:
+		h.kinds = append([]types.Kind{}, left.Kinds()...)
+	}
+	return h
+}
+
+// Kinds implements Operator.
+func (h *HashJoin) Kinds() []types.Kind { return h.kinds }
+
+// Open implements Operator: drains the build side and assembles the table.
+func (h *HashJoin) Open(ctx *Ctx) error {
+	h.ctx = ctx
+	if len(h.LeftKeys) != len(h.RightKeys) || len(h.LeftKeys) == 0 {
+		return fmt.Errorf("exec: hash join needs matching non-empty key lists")
+	}
+	if err := h.Left.Open(ctx); err != nil {
+		return err
+	}
+	if err := h.Right.Open(ctx); err != nil {
+		return err
+	}
+	rk := h.Right.Kinds()
+	h.build = make([]*vec.Vector, len(rk))
+	for i, k := range rk {
+		h.build[i] = vec.New(k, ctx.vecSize())
+	}
+	// Drain build side.
+	for {
+		if err := ctx.poll(); err != nil {
+			return err
+		}
+		b, err := h.Right.Next()
+		if err != nil {
+			return err
+		}
+		if b == nil {
+			break
+		}
+		if h.Type == AntiNullAware && h.RightKeyNull >= 0 {
+			if primitives.CountTrue(b.Vecs[h.RightKeyNull].Bool, b.Sel, b.Full()) > 0 {
+				h.hasNullKey = true
+			}
+		}
+		for c := range h.build {
+			appendSelected(h.build[c], b.Vecs[c], b.Sel, b.Full())
+		}
+	}
+	h.buildRows = h.build[0].Len()
+	if len(h.build) == 0 {
+		h.buildRows = 0
+	}
+	// Hash table: power-of-two buckets ≥ 2·rows.
+	nb := 2 * h.buildRows
+	if nb < 16 {
+		nb = 16
+	}
+	shift := bits.Len(uint(nb - 1))
+	nBuckets := 1 << shift
+	h.mask = uint64(nBuckets - 1)
+	h.heads = make([]int32, nBuckets)
+	for i := range h.heads {
+		h.heads[i] = -1
+	}
+	h.next = make([]int32, h.buildRows)
+	if h.buildRows > 0 {
+		hv := make([]uint64, h.buildRows)
+		if err := hashKeys(hv, h.build, h.RightKeys, nil, h.buildRows); err != nil {
+			return err
+		}
+		for i := 0; i < h.buildRows; i++ {
+			bkt := hv[i] & h.mask
+			h.next[i] = h.heads[bkt]
+			h.heads[bkt] = int32(i)
+		}
+	}
+	// Key comparators.
+	lk := h.Left.Kinds()
+	h.cmps = make([]func(int32, *vec.Batch, int32) bool, len(h.LeftKeys))
+	for i := range h.LeftKeys {
+		pc, bc := h.LeftKeys[i], h.RightKeys[i]
+		if lk[pc] != rk[bc] {
+			return fmt.Errorf("exec: join key %d kinds differ (%v vs %v)", i, lk[pc], rk[bc])
+		}
+		bv := h.build[bc]
+		switch lk[pc] {
+		case types.KindBool:
+			h.cmps[i] = func(br int32, p *vec.Batch, ph int32) bool { return bv.Bool[br] == p.Vecs[pc].Bool[ph] }
+		case types.KindInt32, types.KindDate:
+			h.cmps[i] = func(br int32, p *vec.Batch, ph int32) bool { return bv.I32[br] == p.Vecs[pc].I32[ph] }
+		case types.KindInt64:
+			h.cmps[i] = func(br int32, p *vec.Batch, ph int32) bool { return bv.I64[br] == p.Vecs[pc].I64[ph] }
+		case types.KindFloat64:
+			h.cmps[i] = func(br int32, p *vec.Batch, ph int32) bool { return bv.F64[br] == p.Vecs[pc].F64[ph] }
+		case types.KindString:
+			h.cmps[i] = func(br int32, p *vec.Batch, ph int32) bool { return bv.Str[br] == p.Vecs[pc].Str[ph] }
+		default:
+			return fmt.Errorf("exec: join on kind %v", lk[pc])
+		}
+	}
+	h.out = vec.NewBatch(h.kinds, ctx.vecSize())
+	return nil
+}
+
+// appendSelected appends the selected rows of src to dst.
+func appendSelected(dst, src *vec.Vector, sel []int32, n int) {
+	if sel == nil {
+		dst.AppendVector(src)
+		return
+	}
+	dst.GatherFrom(src, sel)
+}
+
+// hashKeys hashes the key columns of cols into dst (dense, parallel to the
+// selection).
+func hashKeys(dst []uint64, cols []*vec.Vector, keys []int, sel []int32, n int) error {
+	for ki, c := range keys {
+		v := cols[c]
+		first := ki == 0
+		switch v.Kind {
+		case types.KindBool:
+			if first {
+				primitives.HashBool(dst, v.Bool, sel, n)
+			} else {
+				primitives.RehashBool(dst, v.Bool, sel, n)
+			}
+		case types.KindInt32, types.KindDate:
+			if first {
+				primitives.HashInt(dst, v.I32, sel, n)
+			} else {
+				primitives.RehashInt(dst, v.I32, sel, n)
+			}
+		case types.KindInt64:
+			if first {
+				primitives.HashInt(dst, v.I64, sel, n)
+			} else {
+				primitives.RehashInt(dst, v.I64, sel, n)
+			}
+		case types.KindFloat64:
+			if first {
+				primitives.HashFloat(dst, v.F64, sel, n)
+			} else {
+				primitives.RehashFloat(dst, v.F64, sel, n)
+			}
+		case types.KindString:
+			if first {
+				primitives.HashString(dst, v.Str, sel, n)
+			} else {
+				primitives.RehashString(dst, v.Str, sel, n)
+			}
+		default:
+			return fmt.Errorf("exec: cannot hash kind %v", v.Kind)
+		}
+	}
+	return nil
+}
+
+// Next implements Operator.
+func (h *HashJoin) Next() (*vec.Batch, error) {
+	switch h.Type {
+	case Inner, LeftOuter:
+		return h.nextPairs()
+	default:
+		return h.nextExistential()
+	}
+}
+
+// nextPairs emits match pairs (and non-matches for LeftOuter).
+func (h *HashJoin) nextPairs() (*vec.Batch, error) {
+	for {
+		// Flush pending pairs in vector-size chunks.
+		if h.emitAt < len(h.probeIdx) {
+			n := h.ctx.vecSize()
+			if rem := len(h.probeIdx) - h.emitAt; n > rem {
+				n = rem
+			}
+			h.emit(h.probeIdx[h.emitAt:h.emitAt+n], h.buildIdx[h.emitAt:h.emitAt+n])
+			h.emitAt += n
+			return h.out, nil
+		}
+		if err := h.ctx.poll(); err != nil {
+			return nil, err
+		}
+		b, err := h.Left.Next()
+		if err != nil || b == nil {
+			return nil, err
+		}
+		h.probe = b
+		h.probeIdx = h.probeIdx[:0]
+		h.buildIdx = h.buildIdx[:0]
+		h.emitAt = 0
+		rows := b.Rows()
+		if rows == 0 {
+			continue
+		}
+		if cap(h.hashBuf) < rows {
+			h.hashBuf = make([]uint64, rows)
+		}
+		hv := h.hashBuf[:rows]
+		if err := hashKeys(hv, b.Vecs, h.LeftKeys, b.Sel, b.Full()); err != nil {
+			return nil, err
+		}
+		for k := 0; k < rows; k++ {
+			phys := int32(b.RowIndex(k))
+			matched := false
+			if h.buildRows > 0 {
+				for br := h.heads[hv[k]&h.mask]; br >= 0; br = h.next[br] {
+					if h.keyEq(br, b, phys) {
+						h.probeIdx = append(h.probeIdx, phys)
+						h.buildIdx = append(h.buildIdx, br)
+						matched = true
+					}
+				}
+			}
+			if !matched && h.Type == LeftOuter {
+				h.probeIdx = append(h.probeIdx, phys)
+				h.buildIdx = append(h.buildIdx, -1)
+			}
+		}
+	}
+}
+
+func (h *HashJoin) keyEq(buildRow int32, probe *vec.Batch, phys int32) bool {
+	for _, cmp := range h.cmps {
+		if !cmp(buildRow, probe, phys) {
+			return false
+		}
+	}
+	return true
+}
+
+// emit assembles an output chunk from match pairs.
+func (h *HashJoin) emit(probeIdx, buildIdx []int32) {
+	nl := len(h.Left.Kinds())
+	n := len(probeIdx)
+	for c := 0; c < nl; c++ {
+		h.out.Vecs[c].Reset()
+		h.out.Vecs[c].GatherFrom(h.probe.Vecs[c], probeIdx)
+	}
+	for c := range h.build {
+		ov := h.out.Vecs[nl+c]
+		ov.Reset()
+		ov.Grow(n)
+		ov.SetLen(n)
+		gatherWithDefault(ov, h.build[c], buildIdx)
+	}
+	if h.Type == LeftOuter {
+		mv := h.out.Vecs[len(h.kinds)-1]
+		mv.Grow(n)
+		mv.SetLen(n)
+		for i, bi := range buildIdx {
+			mv.Bool[i] = bi >= 0
+		}
+	}
+	h.out.Sel = nil
+	h.out.ForceLen(n)
+}
+
+// gatherWithDefault gathers build rows; index -1 produces the safe zero
+// value (LeftOuter non-matches — NULL decomposition's in-band value).
+func gatherWithDefault(dst, src *vec.Vector, idx []int32) {
+	switch dst.Kind {
+	case types.KindBool:
+		for i, j := range idx {
+			if j >= 0 {
+				dst.Bool[i] = src.Bool[j]
+			} else {
+				dst.Bool[i] = false
+			}
+		}
+	case types.KindInt32, types.KindDate:
+		for i, j := range idx {
+			if j >= 0 {
+				dst.I32[i] = src.I32[j]
+			} else {
+				dst.I32[i] = 0
+			}
+		}
+	case types.KindInt64:
+		for i, j := range idx {
+			if j >= 0 {
+				dst.I64[i] = src.I64[j]
+			} else {
+				dst.I64[i] = 0
+			}
+		}
+	case types.KindFloat64:
+		for i, j := range idx {
+			if j >= 0 {
+				dst.F64[i] = src.F64[j]
+			} else {
+				dst.F64[i] = 0
+			}
+		}
+	case types.KindString:
+		for i, j := range idx {
+			if j >= 0 {
+				dst.Str[i] = src.Str[j]
+			} else {
+				dst.Str[i] = ""
+			}
+		}
+	}
+}
+
+// nextExistential handles Semi / Anti / AntiNullAware: probe rows pass or
+// fail as a selection vector, no data movement.
+func (h *HashJoin) nextExistential() (*vec.Batch, error) {
+	for {
+		if err := h.ctx.poll(); err != nil {
+			return nil, err
+		}
+		b, err := h.Left.Next()
+		if err != nil || b == nil {
+			return nil, err
+		}
+		// NOT IN with a NULL on the build side: nothing qualifies, but we
+		// must still drain the probe side cheaply.
+		if h.Type == AntiNullAware && h.hasNullKey {
+			continue
+		}
+		rows := b.Rows()
+		if rows == 0 {
+			continue
+		}
+		if cap(h.hashBuf) < rows {
+			h.hashBuf = make([]uint64, rows)
+		}
+		hv := h.hashBuf[:rows]
+		if err := hashKeys(hv, b.Vecs, h.LeftKeys, b.Sel, b.Full()); err != nil {
+			return nil, err
+		}
+		h.selBuf = h.selBuf[:0]
+		var probeNull []bool
+		if h.Type == AntiNullAware && h.LeftKeyNull >= 0 {
+			probeNull = b.Vecs[h.LeftKeyNull].Bool
+		}
+		for k := 0; k < rows; k++ {
+			phys := int32(b.RowIndex(k))
+			matched := false
+			if h.buildRows > 0 {
+				for br := h.heads[hv[k]&h.mask]; br >= 0; br = h.next[br] {
+					if h.keyEq(br, b, phys) {
+						matched = true
+						break
+					}
+				}
+			}
+			keep := false
+			switch h.Type {
+			case Semi:
+				keep = matched
+			case Anti:
+				keep = !matched
+			case AntiNullAware:
+				// Probe NULL keys compare UNKNOWN to everything: excluded.
+				keep = !matched && (probeNull == nil || !probeNull[phys])
+			}
+			if keep {
+				h.selBuf = append(h.selBuf, phys)
+			}
+		}
+		if len(h.selBuf) == 0 {
+			continue
+		}
+		h.outSel = *b
+		h.outSel.Sel = h.selBuf
+		return &h.outSel, nil
+	}
+}
+
+// Close implements Operator.
+func (h *HashJoin) Close() {
+	h.Left.Close()
+	h.Right.Close()
+}

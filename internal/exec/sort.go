@@ -1,0 +1,324 @@
+package exec
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"vectorwise/internal/types"
+	"vectorwise/internal/vec"
+)
+
+// SortKey orders by one column.
+type SortKey struct {
+	Col  int
+	Desc bool
+}
+
+// Sort materializes its input and emits it ordered by the sort keys
+// (stable, so equal keys keep arrival order).
+type Sort struct {
+	Child Operator
+	Keys  []SortKey
+
+	ctx    *Ctx
+	store  []*vec.Vector
+	perm   []int32
+	emitAt int
+	out    *vec.Batch
+	built  bool
+}
+
+// NewSort builds a sort operator.
+func NewSort(child Operator, keys []SortKey) *Sort {
+	return &Sort{Child: child, Keys: keys}
+}
+
+// Kinds implements Operator.
+func (s *Sort) Kinds() []types.Kind { return s.Child.Kinds() }
+
+// Open implements Operator.
+func (s *Sort) Open(ctx *Ctx) error {
+	s.ctx = ctx
+	s.built = false
+	s.emitAt = 0
+	kinds := s.Child.Kinds()
+	s.store = make([]*vec.Vector, len(kinds))
+	for i, k := range kinds {
+		s.store[i] = vec.New(k, ctx.vecSize())
+	}
+	s.out = vec.NewBatch(kinds, ctx.vecSize())
+	return s.Child.Open(ctx)
+}
+
+// cmpRows builds a comparator over stored rows for the given keys.
+func cmpRows(store []*vec.Vector, keys []SortKey) (func(a, b int32) int, error) {
+	cmps := make([]func(a, b int32) int, len(keys))
+	for i, k := range keys {
+		v := store[k.Col]
+		sign := 1
+		if k.Desc {
+			sign = -1
+		}
+		switch v.Kind {
+		case types.KindBool:
+			cmps[i] = func(a, b int32) int {
+				x, y := v.Bool[a], v.Bool[b]
+				switch {
+				case x == y:
+					return 0
+				case !x:
+					return -sign
+				default:
+					return sign
+				}
+			}
+		case types.KindInt32, types.KindDate:
+			cmps[i] = func(a, b int32) int { return sign * cmpOrd(v.I32[a], v.I32[b]) }
+		case types.KindInt64:
+			cmps[i] = func(a, b int32) int { return sign * cmpOrd(v.I64[a], v.I64[b]) }
+		case types.KindFloat64:
+			cmps[i] = func(a, b int32) int { return sign * cmpOrd(v.F64[a], v.F64[b]) }
+		case types.KindString:
+			cmps[i] = func(a, b int32) int { return sign * cmpOrd(v.Str[a], v.Str[b]) }
+		default:
+			return nil, fmt.Errorf("exec: sort on kind %v", v.Kind)
+		}
+	}
+	return func(a, b int32) int {
+		for _, c := range cmps {
+			if r := c(a, b); r != 0 {
+				return r
+			}
+		}
+		return 0
+	}, nil
+}
+
+func cmpOrd[T int32 | int64 | float64 | string](a, b T) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Next implements Operator.
+func (s *Sort) Next() (*vec.Batch, error) {
+	if !s.built {
+		if err := s.consume(); err != nil {
+			return nil, err
+		}
+		cmp, err := cmpRows(s.store, s.Keys)
+		if err != nil {
+			return nil, err
+		}
+		sort.SliceStable(s.perm, func(i, j int) bool { return cmp(s.perm[i], s.perm[j]) < 0 })
+		s.built = true
+	}
+	total := len(s.perm)
+	if s.emitAt >= total {
+		return nil, nil
+	}
+	if err := s.ctx.poll(); err != nil {
+		return nil, err
+	}
+	n := s.ctx.vecSize()
+	if rem := total - s.emitAt; n > rem {
+		n = rem
+	}
+	window := s.perm[s.emitAt : s.emitAt+n]
+	for c := range s.out.Vecs {
+		s.out.Vecs[c].Reset()
+		s.out.Vecs[c].GatherFrom(s.store[c], window)
+	}
+	s.out.Sel = nil
+	s.out.ForceLen(n)
+	s.emitAt += n
+	return s.out, nil
+}
+
+func (s *Sort) consume() error {
+	for {
+		if err := s.ctx.poll(); err != nil {
+			return err
+		}
+		b, err := s.Child.Next()
+		if err != nil {
+			return err
+		}
+		if b == nil {
+			return nil
+		}
+		base := int32(0)
+		if len(s.store) > 0 {
+			base = int32(s.store[0].Len())
+		}
+		for c := range s.store {
+			appendSelected(s.store[c], b.Vecs[c], b.Sel, b.Full())
+		}
+		for i := 0; i < b.Rows(); i++ {
+			s.perm = append(s.perm, base+int32(i))
+		}
+	}
+}
+
+// Close implements Operator.
+func (s *Sort) Close() { s.Child.Close() }
+
+// TopN keeps only the first N rows of the sorted order, using a bounded
+// max-heap instead of a full sort — the standard ORDER BY ... LIMIT n
+// specialization.
+type TopN struct {
+	Child Operator
+	Keys  []SortKey
+	N     int
+
+	ctx    *Ctx
+	store  []*vec.Vector
+	cmp    func(a, b int32) int
+	hp     *rowHeap
+	out    *vec.Batch
+	built  bool
+	emitAt int
+	order  []int32
+}
+
+// NewTopN builds a top-N operator.
+func NewTopN(child Operator, keys []SortKey, n int) *TopN {
+	return &TopN{Child: child, Keys: keys, N: n}
+}
+
+// Kinds implements Operator.
+func (t *TopN) Kinds() []types.Kind { return t.Child.Kinds() }
+
+// Open implements Operator.
+func (t *TopN) Open(ctx *Ctx) error {
+	t.ctx = ctx
+	t.built = false
+	t.emitAt = 0
+	kinds := t.Child.Kinds()
+	t.store = make([]*vec.Vector, len(kinds))
+	for i, k := range kinds {
+		t.store[i] = vec.New(k, ctx.vecSize())
+	}
+	t.out = vec.NewBatch(kinds, ctx.vecSize())
+	return t.Child.Open(ctx)
+}
+
+type rowHeap struct {
+	rows []int32
+	cmp  func(a, b int32) int
+}
+
+func (h *rowHeap) Len() int           { return len(h.rows) }
+func (h *rowHeap) Less(i, j int) bool { return h.cmp(h.rows[i], h.rows[j]) > 0 } // max-heap
+func (h *rowHeap) Swap(i, j int)      { h.rows[i], h.rows[j] = h.rows[j], h.rows[i] }
+func (h *rowHeap) Push(x any)         { h.rows = append(h.rows, x.(int32)) }
+func (h *rowHeap) Pop() any {
+	n := len(h.rows)
+	x := h.rows[n-1]
+	h.rows = h.rows[:n-1]
+	return x
+}
+
+// Next implements Operator.
+func (t *TopN) Next() (*vec.Batch, error) {
+	if !t.built {
+		cmp, err := cmpRows(t.store, t.Keys)
+		if err != nil {
+			return nil, err
+		}
+		t.cmp = cmp
+		t.hp = &rowHeap{cmp: cmp}
+		if err := t.consume(); err != nil {
+			return nil, err
+		}
+		// Drain the heap into ascending order.
+		t.order = make([]int32, len(t.hp.rows))
+		for i := len(t.order) - 1; i >= 0; i-- {
+			t.order[i] = heap.Pop(t.hp).(int32)
+		}
+		t.built = true
+	}
+	if t.emitAt >= len(t.order) {
+		return nil, nil
+	}
+	if err := t.ctx.poll(); err != nil {
+		return nil, err
+	}
+	n := t.ctx.vecSize()
+	if rem := len(t.order) - t.emitAt; n > rem {
+		n = rem
+	}
+	window := t.order[t.emitAt : t.emitAt+n]
+	for c := range t.out.Vecs {
+		t.out.Vecs[c].Reset()
+		t.out.Vecs[c].GatherFrom(t.store[c], window)
+	}
+	t.out.Sel = nil
+	t.out.ForceLen(n)
+	t.emitAt += n
+	return t.out, nil
+}
+
+func (t *TopN) consume() error {
+	for {
+		if err := t.ctx.poll(); err != nil {
+			return err
+		}
+		b, err := t.Child.Next()
+		if err != nil {
+			return err
+		}
+		if b == nil {
+			return nil
+		}
+		for i := 0; i < b.Rows(); i++ {
+			phys := b.RowIndex(i)
+			// Copy the candidate row into the store.
+			idx := int32(t.store[0].Len())
+			for c := range t.store {
+				t.store[c].Append(b.Vecs[c].Get(phys))
+			}
+			heap.Push(t.hp, idx)
+			if t.hp.Len() > t.N {
+				heap.Pop(t.hp)
+			}
+		}
+		// Periodically compact the store to the live heap rows so memory
+		// stays O(N), not O(input).
+		if t.store[0].Len() > 4*t.N+1024 {
+			t.compact()
+		}
+	}
+}
+
+func (t *TopN) compact() {
+	live := append([]int32(nil), t.hp.rows...)
+	remap := make(map[int32]int32, len(live))
+	newStore := make([]*vec.Vector, len(t.store))
+	for c := range t.store {
+		newStore[c] = vec.New(t.store[c].Kind, len(live))
+	}
+	for newIdx, old := range live {
+		for c := range t.store {
+			newStore[c].Append(t.store[c].Get(int(old)))
+		}
+		remap[old] = int32(newIdx)
+	}
+	t.store = newStore
+	for i, r := range t.hp.rows {
+		t.hp.rows[i] = remap[r]
+	}
+	// Rebuild comparator closures over the new store.
+	cmp, _ := cmpRows(t.store, t.Keys)
+	t.cmp = cmp
+	t.hp.cmp = cmp
+}
+
+// Close implements Operator.
+func (t *TopN) Close() { t.Child.Close() }

@@ -1,0 +1,273 @@
+package exec
+
+import (
+	"sync"
+
+	"vectorwise/internal/types"
+	"vectorwise/internal/vec"
+)
+
+// The Xchg (exchange) operators implement Volcano-style parallelism: plan
+// fragments run in their own goroutines and meet at exchange boundaries.
+// The paper's "Multi-core" bullet (claim C9) notes Vectorwise built its
+// parallelizer *in the rewriter* by inserting exactly these operators;
+// internal/rewriter does the same and experiment E6 measures the scaling.
+
+// XchgUnion runs each child in its own goroutine and merges their batches
+// into one stream (no ordering guarantees).
+type XchgUnion struct {
+	Children []Operator
+
+	ctx     *Ctx
+	ch      chan *vec.Batch
+	errCh   chan error
+	wg      sync.WaitGroup
+	stop    chan struct{}
+	stopped sync.Once
+	opened  bool
+}
+
+// NewXchgUnion builds an exchange union.
+func NewXchgUnion(children ...Operator) *XchgUnion {
+	return &XchgUnion{Children: children}
+}
+
+// Kinds implements Operator.
+func (x *XchgUnion) Kinds() []types.Kind { return x.Children[0].Kinds() }
+
+// Open implements Operator: starts one producer goroutine per child.
+func (x *XchgUnion) Open(ctx *Ctx) error {
+	x.ctx = ctx
+	x.ch = make(chan *vec.Batch, len(x.Children)*2)
+	x.errCh = make(chan error, len(x.Children))
+	x.stop = make(chan struct{})
+	x.opened = true
+	for _, c := range x.Children {
+		x.wg.Add(1)
+		go x.produce(c)
+	}
+	go func() {
+		x.wg.Wait()
+		close(x.ch)
+	}()
+	return nil
+}
+
+func (x *XchgUnion) produce(child Operator) {
+	defer x.wg.Done()
+	if err := child.Open(x.ctx); err != nil {
+		x.fail(err)
+		return
+	}
+	defer child.Close()
+	for {
+		b, err := child.Next()
+		if err != nil {
+			x.fail(err)
+			return
+		}
+		if b == nil {
+			return
+		}
+		// Producers reuse their batches, so ship a compacted copy across
+		// the thread boundary (the standard exchange copy).
+		out := b.Clone()
+		select {
+		case x.ch <- out:
+		case <-x.stop:
+			return
+		}
+	}
+}
+
+func (x *XchgUnion) fail(err error) {
+	select {
+	case x.errCh <- err:
+	default:
+	}
+	x.stopped.Do(func() { close(x.stop) })
+}
+
+// Next implements Operator.
+func (x *XchgUnion) Next() (*vec.Batch, error) {
+	for {
+		select {
+		case err := <-x.errCh:
+			x.stopped.Do(func() { close(x.stop) })
+			return nil, err
+		case b, ok := <-x.ch:
+			if !ok {
+				// Producers done; surface any late error.
+				select {
+				case err := <-x.errCh:
+					return nil, err
+				default:
+					return nil, nil
+				}
+			}
+			return b, nil
+		case <-x.ctx.Ctx.Done():
+			x.stopped.Do(func() { close(x.stop) })
+			return nil, x.ctx.poll()
+		}
+	}
+}
+
+// Close implements Operator: tears down producers and drains the channel so
+// they can exit (part of making cancellation work with parallel plans).
+func (x *XchgUnion) Close() {
+	if !x.opened {
+		for _, c := range x.Children {
+			c.Close()
+		}
+		return
+	}
+	x.stopped.Do(func() { close(x.stop) })
+	for range x.ch {
+		// drain until producers close it
+	}
+}
+
+// XchgHashSplit partitions one input stream into P output operators by the
+// hash of key columns; each partition can then feed an independent plan
+// fragment (partitioned joins/aggregations).
+type XchgHashSplit struct {
+	Input   Operator
+	KeyCols []int
+	P       int
+
+	parts []*splitPart
+	once  sync.Once
+	err   error
+}
+
+type splitPart struct {
+	parent *XchgHashSplit
+	ch     chan *vec.Batch
+	ctx    *Ctx
+}
+
+// NewXchgHashSplit builds the splitter and returns its P partition
+// operators. The input is driven by a single goroutine started lazily when
+// the first partition is opened; all partitions must be consumed (each by
+// exactly one reader).
+func NewXchgHashSplit(input Operator, keyCols []int, p int) []Operator {
+	x := &XchgHashSplit{Input: input, KeyCols: keyCols, P: p}
+	out := make([]Operator, p)
+	x.parts = make([]*splitPart, p)
+	for i := 0; i < p; i++ {
+		x.parts[i] = &splitPart{parent: x, ch: make(chan *vec.Batch, 4)}
+		out[i] = x.parts[i]
+	}
+	return out
+}
+
+// Kinds implements Operator.
+func (s *splitPart) Kinds() []types.Kind { return s.parent.Input.Kinds() }
+
+// Open implements Operator.
+func (s *splitPart) Open(ctx *Ctx) error {
+	s.ctx = ctx
+	s.parent.once.Do(func() { go s.parent.drive(ctx) })
+	return nil
+}
+
+func (x *XchgHashSplit) drive(ctx *Ctx) {
+	defer func() {
+		for _, p := range x.parts {
+			close(p.ch)
+		}
+	}()
+	if err := x.Input.Open(ctx); err != nil {
+		x.err = err
+		return
+	}
+	defer x.Input.Close()
+	kinds := x.Input.Kinds()
+	// Per-partition accumulation buffers.
+	accs := make([]*vec.Batch, x.P)
+	for i := range accs {
+		accs[i] = vec.NewBatch(kinds, ctx.vecSize())
+	}
+	flush := func(i int) bool {
+		if accs[i].Full() == 0 {
+			return true
+		}
+		select {
+		case x.parts[i].ch <- accs[i]:
+			accs[i] = vec.NewBatch(kinds, ctx.vecSize())
+			return true
+		case <-ctx.Ctx.Done():
+			return false
+		}
+	}
+	var hashBuf []uint64
+	for {
+		b, err := x.Input.Next()
+		if err != nil {
+			x.err = err
+			return
+		}
+		if b == nil {
+			break
+		}
+		rows := b.Rows()
+		if rows == 0 {
+			continue
+		}
+		if cap(hashBuf) < rows {
+			hashBuf = make([]uint64, rows)
+		}
+		hv := hashBuf[:rows]
+		if err := hashKeys(hv, b.Vecs, x.KeyCols, b.Sel, b.Full()); err != nil {
+			x.err = err
+			return
+		}
+		for k := 0; k < rows; k++ {
+			part := int(hv[k] % uint64(x.P))
+			phys := b.RowIndex(k)
+			acc := accs[part]
+			at := acc.Full()
+			for c := range acc.Vecs {
+				acc.Vecs[c].Grow(at + 1)
+				acc.Vecs[c].SetLen(at + 1)
+				acc.Vecs[c].Set(at, b.Vecs[c].Get(phys))
+			}
+			acc.ForceLen(at + 1)
+			if at+1 >= ctx.vecSize() {
+				if !flush(part) {
+					return
+				}
+			}
+		}
+	}
+	for i := range accs {
+		if !flush(i) {
+			return
+		}
+	}
+}
+
+// Next implements Operator.
+func (s *splitPart) Next() (*vec.Batch, error) {
+	select {
+	case b, ok := <-s.ch:
+		if !ok {
+			if s.parent.err != nil {
+				return nil, s.parent.err
+			}
+			return nil, nil
+		}
+		return b, nil
+	case <-s.ctx.Ctx.Done():
+		return nil, s.ctx.poll()
+	}
+}
+
+// Close implements Operator: drains so the driver can finish.
+func (s *splitPart) Close() {
+	go func() {
+		for range s.ch {
+		}
+	}()
+}

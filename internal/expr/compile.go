@@ -1,0 +1,210 @@
+package expr
+
+import (
+	"fmt"
+
+	"vectorwise/internal/types"
+	"vectorwise/internal/vec"
+)
+
+// The vectorized expression compiler. An expression tree is compiled once
+// per query into a flat program of instructions over vector registers; at
+// run time each batch flows through the program with zero interpretation of
+// the tree and zero allocation.
+//
+// Registers are either *aliases* (column references point straight into the
+// input batch — no copy) or *owned* scratch vectors sized to the engine's
+// vector length and grown on demand.
+
+// evalCtx is the per-batch execution state threaded through instructions.
+type evalCtx struct {
+	in   *vec.Batch
+	regs []*vec.Vector
+	sel  []int32 // selection under which to evaluate (physical positions)
+	n    int     // physical row count of the batch
+}
+
+// instr is one compiled step.
+type instr func(ctx *evalCtx) error
+
+// Evaluator is a compiled expression.
+type Evaluator struct {
+	prog     []instr
+	nRegs    int
+	owned    []ownedReg // registers we must allocate/grow
+	out      int        // register holding the result
+	outKind  types.Kind
+	regState []*vec.Vector
+	checked  bool
+}
+
+type ownedReg struct {
+	reg  int
+	kind types.Kind
+}
+
+// Mode flags for compilation.
+type Mode struct {
+	// Checked enables overflow/div-zero detection via the vectorized
+	// checked primitives. Unchecked mode exists for experiment E8 and for
+	// expressions the optimizer proved safe.
+	Checked bool
+	// Naive switches the checked primitives to the per-value naive variants
+	// (experiment E8's straw man). Implies Checked.
+	Naive bool
+}
+
+// Compile builds an Evaluator for e over inputs with the given kinds.
+func Compile(e Expr, inputKinds []types.Kind, mode Mode) (*Evaluator, error) {
+	c := &compiler{inputKinds: inputKinds, mode: mode}
+	slot, err := c.compileNode(e)
+	if err != nil {
+		return nil, err
+	}
+	outReg := slot.reg
+	if slot.isConst() {
+		// Expression is a bare constant: materialize it.
+		outReg = c.allocReg(slot.kind)
+		val := slot.val
+		r := outReg
+		c.prog = append(c.prog, func(ctx *evalCtx) error {
+			ctx.regs[r].Fill(val, ctx.n)
+			return nil
+		})
+	}
+	ev := &Evaluator{
+		prog:    c.prog,
+		nRegs:   c.nRegs,
+		owned:   c.owned,
+		out:     outReg,
+		outKind: e.Type().Kind,
+		checked: mode.Checked,
+	}
+	ev.regState = make([]*vec.Vector, ev.nRegs)
+	for _, o := range ev.owned {
+		ev.regState[o.reg] = vec.New(o.kind, vec.DefaultSize)
+	}
+	return ev, nil
+}
+
+// OutKind returns the result vector kind.
+func (ev *Evaluator) OutKind() types.Kind { return ev.outKind }
+
+// Eval runs the program over a batch, evaluating only the batch's selected
+// positions, and returns the result vector. Result values sit at the same
+// physical positions as their input rows (interpret it with the batch's
+// selection vector). The returned vector is owned by the evaluator and valid
+// until the next Eval.
+func (ev *Evaluator) Eval(b *vec.Batch) (*vec.Vector, error) {
+	return ev.EvalSel(b, b.Sel)
+}
+
+// EvalSel is Eval under an explicit selection (overriding the batch's own).
+func (ev *Evaluator) EvalSel(b *vec.Batch, sel []int32) (*vec.Vector, error) {
+	n := b.Full()
+	for _, o := range ev.owned {
+		r := ev.regState[o.reg]
+		if r.Cap() < n {
+			r.Grow(n)
+		}
+		r.SetLen(n)
+	}
+	ctx := &evalCtx{in: b, regs: ev.regState, sel: sel, n: n}
+	for _, ins := range ev.prog {
+		if err := ins(ctx); err != nil {
+			return nil, err
+		}
+	}
+	return ev.regState[ev.out], nil
+}
+
+// compiler state.
+type compiler struct {
+	inputKinds []types.Kind
+	mode       Mode
+	prog       []instr
+	nRegs      int
+	owned      []ownedReg
+}
+
+// argSlot is a compiled operand: either a register or a compile-time
+// constant (which primitives consume in their VC shapes without
+// materialization).
+type argSlot struct {
+	reg  int // -1 for constants
+	val  types.Value
+	kind types.Kind
+}
+
+func (s argSlot) isConst() bool { return s.reg < 0 }
+
+func (c *compiler) allocReg(kind types.Kind) int {
+	r := c.nRegs
+	c.nRegs++
+	c.owned = append(c.owned, ownedReg{reg: r, kind: kind})
+	return r
+}
+
+func (c *compiler) allocAlias() int {
+	r := c.nRegs
+	c.nRegs++
+	return r
+}
+
+func (c *compiler) compileNode(e Expr) (argSlot, error) {
+	switch n := e.(type) {
+	case *Const:
+		if n.Val.Null {
+			return argSlot{}, fmt.Errorf("expr: NULL literal reached the kernel compiler (rewriter must decompose): %s", e)
+		}
+		return argSlot{reg: -1, val: n.Val, kind: n.Val.Kind}, nil
+	case *ColRef:
+		if n.Idx < 0 || n.Idx >= len(c.inputKinds) {
+			return argSlot{}, fmt.Errorf("expr: column index %d out of range (input has %d columns)", n.Idx, len(c.inputKinds))
+		}
+		if got, want := c.inputKinds[n.Idx], n.T.Kind; got != want {
+			return argSlot{}, fmt.Errorf("expr: column %d is %v, reference says %v", n.Idx, got, want)
+		}
+		r := c.allocAlias()
+		idx := n.Idx
+		c.prog = append(c.prog, func(ctx *evalCtx) error {
+			ctx.regs[r] = ctx.in.Vecs[idx]
+			return nil
+		})
+		return argSlot{reg: r, kind: n.T.Kind}, nil
+	case *Call:
+		args := make([]argSlot, len(n.Args))
+		for i, a := range n.Args {
+			s, err := c.compileNode(a)
+			if err != nil {
+				return argSlot{}, err
+			}
+			args[i] = s
+		}
+		dstKind := n.T.Kind
+		dst := c.allocReg(dstKind)
+		ins, err := buildCall(n.Fn, args, dst, dstKind, c.mode, c)
+		if err != nil {
+			return argSlot{}, err
+		}
+		c.prog = append(c.prog, ins)
+		return argSlot{reg: dst, kind: dstKind}, nil
+	default:
+		return argSlot{}, fmt.Errorf("expr: cannot compile node %T", e)
+	}
+}
+
+// materialize returns a register that holds the constant expanded to the
+// batch length; used by builders that lack a constant-operand shape.
+func (c *compiler) materialize(s argSlot) argSlot {
+	if !s.isConst() {
+		return s
+	}
+	r := c.allocReg(s.kind)
+	val := s.val
+	c.prog = append(c.prog, func(ctx *evalCtx) error {
+		ctx.regs[r].Fill(val, ctx.n)
+		return nil
+	})
+	return argSlot{reg: r, kind: s.kind}
+}

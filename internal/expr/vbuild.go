@@ -1,0 +1,1288 @@
+package expr
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"vectorwise/internal/primitives"
+	"vectorwise/internal/types"
+	"vectorwise/internal/vec"
+)
+
+func pow(a, b float64) float64 { return math.Pow(a, b) }
+
+// vbuild.go binds a Call node to a concrete instruction: the switch from
+// (function, argument kinds, argument shapes) to the right primitive. This
+// is the Go analogue of X100's primitive-selection table.
+
+// Slicers fetch the typed payload of a register's vector.
+func sBool(v *vec.Vector) []bool   { return v.Bool }
+func sI32(v *vec.Vector) []int32   { return v.I32 }
+func sI64(v *vec.Vector) []int64   { return v.I64 }
+func sF64(v *vec.Vector) []float64 { return v.F64 }
+func sStr(v *vec.Vector) []string  { return v.Str }
+
+// Constant converters.
+func cI32(v types.Value) int32   { return int32(v.I64) }
+func cI64(v types.Value) int64   { return v.I64 }
+func cF64(v types.Value) float64 { return v.AsFloat() }
+func cStr(v types.Value) string  { return v.Str }
+
+func buildCall(fn string, args []argSlot, dst int, dstKind types.Kind, mode Mode, c *compiler) (instr, error) {
+	switch fn {
+	case "+", "-", "*", "/", "%", "mod":
+		return buildArith(fn, args, dst, dstKind, mode, c)
+	case "=", "<>", "<", "<=", ">", ">=":
+		return buildCmp(fn, args, dst, c)
+	case "and", "or", "not":
+		return buildLogical(fn, args, dst, c)
+	case "if":
+		return buildIf(args, dst, dstKind, c)
+	case "between":
+		return buildBetween(args, dst, c)
+	case "cast_int32", "cast_int64", "cast_float64", "cast_string":
+		return buildCast(fn, args, dst, c)
+	case "neg", "abs", "sign":
+		return buildUnaryNum(fn, args, dst, dstKind)
+	case "upper", "lower", "trim", "ltrim", "rtrim", "length",
+		"||", "concat", "substr", "replace", "position", "lpad", "rpad",
+		"like", "starts_with", "ends_with", "contains":
+		return buildString(fn, args, dst, c)
+	case "year", "month", "day", "quarter", "dayofweek",
+		"date_add", "add_months", "date_diff":
+		return buildDate(fn, args, dst, c)
+	case "sqrt", "floor", "ceil", "ln", "exp", "round", "power":
+		return buildMath(fn, args, dst, c)
+	case "min2", "max2":
+		return buildMinMax2(fn, args, dst, dstKind, c)
+	case "isnull", "isnotnull", "coalesce", "ifnull", "nullif":
+		return nil, fmt.Errorf("expr: %s must be lowered by the rewriter before kernel compilation", fn)
+	}
+	return nil, fmt.Errorf("expr: no vectorized implementation of %q", fn)
+}
+
+// --- arithmetic ---
+
+func buildArith(fn string, args []argSlot, dst int, dstKind types.Kind, mode Mode, c *compiler) (instr, error) {
+	a, b := args[0], args[1]
+	if a.isConst() && b.isConst() {
+		// Constant folding is the rewriter's job, but stay safe when an
+		// unfolded expression reaches the compiler (tests, ad-hoc plans).
+		a = c.materialize(a)
+	}
+	// DATE arithmetic routes to the date builders.
+	if a.kind == types.KindDate {
+		switch {
+		case fn == "-" && b.kind == types.KindDate:
+			return buildDate("date_diff", args, dst, c)
+		case fn == "+":
+			return buildDate("date_add", args, dst, c)
+		case fn == "-":
+			nb, err := negSlot(b, c)
+			if err != nil {
+				return nil, err
+			}
+			return buildDate("date_add", []argSlot{a, nb}, dst, c)
+		}
+	}
+	switch dstKind {
+	case types.KindInt32:
+		return intArith(fn, a, b, dst, mode, c, sI32, cI32, primitives.CheckedMulVVI32)
+	case types.KindInt64:
+		return intArith(fn, a, b, dst, mode, c, sI64, cI64, primitives.CheckedMulVVI64)
+	case types.KindFloat64:
+		return floatArith(fn, a, b, dst, mode, c)
+	}
+	return nil, fmt.Errorf("expr: arithmetic on %v", dstKind)
+}
+
+// negSlot negates an integral operand (constant folding or a NegV step).
+func negSlot(s argSlot, c *compiler) (argSlot, error) {
+	if s.isConst() {
+		v := s.val
+		v.I64 = -v.I64
+		return argSlot{reg: -1, val: v, kind: s.kind}, nil
+	}
+	r := c.allocReg(s.kind)
+	src := s.reg
+	var ins instr
+	switch s.kind {
+	case types.KindInt32:
+		ins = func(ctx *evalCtx) error {
+			d, a := ctx.regs[r].I32, ctx.regs[src].I32
+			if ctx.sel == nil {
+				primitives.NegV(d[:ctx.n], a, nil)
+			} else {
+				primitives.NegV(d, a, ctx.sel)
+			}
+			return nil
+		}
+	case types.KindInt64:
+		ins = func(ctx *evalCtx) error {
+			d, a := ctx.regs[r].I64, ctx.regs[src].I64
+			if ctx.sel == nil {
+				primitives.NegV(d[:ctx.n], a, nil)
+			} else {
+				primitives.NegV(d, a, ctx.sel)
+			}
+			return nil
+		}
+	default:
+		return argSlot{}, fmt.Errorf("expr: cannot negate %v", s.kind)
+	}
+	c.prog = append(c.prog, ins)
+	return argSlot{reg: r, kind: s.kind}, nil
+}
+
+func intArith[T primitives.Integer](
+	fn string, a, b argSlot, dst int, mode Mode, c *compiler,
+	sl func(*vec.Vector) []T, cv func(types.Value) T,
+	mulChecked func(dst, a, b []T, sel []int32) error,
+) (instr, error) {
+	// Promote operand kinds: the binder guarantees both sides already match
+	// the destination kind via casts, so slots here share T.
+	checked := mode.Checked || mode.Naive
+	// Division and modulo are *always* checked: unchecked integer division
+	// by zero would fault the whole process.
+	if fn == "/" || fn == "%" || fn == "mod" {
+		av := c.materialize(a)
+		bv := c.materialize(b)
+		ra, rb := av.reg, bv.reg
+		naive := mode.Naive
+		isMod := fn != "/"
+		return func(ctx *evalCtx) error {
+			d, x, y := sl(ctx.regs[dst]), sl(ctx.regs[ra]), sl(ctx.regs[rb])
+			sel, n := ctx.sel, ctx.n
+			if sel == nil {
+				d = d[:n]
+			}
+			if isMod {
+				return primitives.CheckedModVV(d, x, y, sel)
+			}
+			if naive {
+				return primitives.NaiveCheckedDivVV(d, x, y, sel)
+			}
+			return primitives.CheckedDivVV(d, x, y, sel)
+		}, nil
+	}
+	if checked {
+		av := c.materialize(a)
+		bv := c.materialize(b)
+		ra, rb := av.reg, bv.reg
+		naive := mode.Naive
+		switch fn {
+		case "+":
+			return func(ctx *evalCtx) error {
+				d, x, y := sl(ctx.regs[dst]), sl(ctx.regs[ra]), sl(ctx.regs[rb])
+				sel, n := ctx.sel, ctx.n
+				if sel == nil {
+					d = d[:n]
+				}
+				if naive {
+					return primitives.NaiveCheckedAddVV(d, x, y, sel, primitives.NaiveAddOverflowCheck[T])
+				}
+				return primitives.CheckedAddVV(d, x, y, sel)
+			}, nil
+		case "-":
+			return func(ctx *evalCtx) error {
+				d, x, y := sl(ctx.regs[dst]), sl(ctx.regs[ra]), sl(ctx.regs[rb])
+				sel, n := ctx.sel, ctx.n
+				if sel == nil {
+					d = d[:n]
+				}
+				return primitives.CheckedSubVV(d, x, y, sel)
+			}, nil
+		case "*":
+			return func(ctx *evalCtx) error {
+				d, x, y := sl(ctx.regs[dst]), sl(ctx.regs[ra]), sl(ctx.regs[rb])
+				sel, n := ctx.sel, ctx.n
+				if sel == nil {
+					d = d[:n]
+				}
+				return mulChecked(d, x, y, sel)
+			}, nil
+		}
+	}
+	// Unchecked fast paths with VC/CV shapes.
+	switch {
+	case fn == "+" && a.isConst():
+		a, b = b, a // commute
+		fallthrough
+	case fn == "+" && b.isConst():
+		ra, k := a.reg, cv(b.val)
+		return func(ctx *evalCtx) error {
+			d, x := sl(ctx.regs[dst]), sl(ctx.regs[ra])
+			if ctx.sel == nil {
+				primitives.AddVC(d[:ctx.n], x, k, nil)
+			} else {
+				primitives.AddVC(d, x, k, ctx.sel)
+			}
+			return nil
+		}, nil
+	case fn == "+":
+		ra, rb := a.reg, b.reg
+		return func(ctx *evalCtx) error {
+			d, x, y := sl(ctx.regs[dst]), sl(ctx.regs[ra]), sl(ctx.regs[rb])
+			if ctx.sel == nil {
+				primitives.AddVV(d[:ctx.n], x, y, nil)
+			} else {
+				primitives.AddVV(d, x, y, ctx.sel)
+			}
+			return nil
+		}, nil
+	case fn == "-" && b.isConst():
+		ra, k := a.reg, cv(b.val)
+		return func(ctx *evalCtx) error {
+			d, x := sl(ctx.regs[dst]), sl(ctx.regs[ra])
+			if ctx.sel == nil {
+				primitives.SubVC(d[:ctx.n], x, k, nil)
+			} else {
+				primitives.SubVC(d, x, k, ctx.sel)
+			}
+			return nil
+		}, nil
+	case fn == "-" && a.isConst():
+		rb, k := b.reg, cv(a.val)
+		return func(ctx *evalCtx) error {
+			d, y := sl(ctx.regs[dst]), sl(ctx.regs[rb])
+			if ctx.sel == nil {
+				primitives.SubCV(d[:ctx.n], k, y, nil)
+			} else {
+				primitives.SubCV(d, k, y, ctx.sel)
+			}
+			return nil
+		}, nil
+	case fn == "-":
+		ra, rb := a.reg, b.reg
+		return func(ctx *evalCtx) error {
+			d, x, y := sl(ctx.regs[dst]), sl(ctx.regs[ra]), sl(ctx.regs[rb])
+			if ctx.sel == nil {
+				primitives.SubVV(d[:ctx.n], x, y, nil)
+			} else {
+				primitives.SubVV(d, x, y, ctx.sel)
+			}
+			return nil
+		}, nil
+	case fn == "*" && a.isConst():
+		a, b = b, a
+		fallthrough
+	case fn == "*" && b.isConst():
+		ra, k := a.reg, cv(b.val)
+		return func(ctx *evalCtx) error {
+			d, x := sl(ctx.regs[dst]), sl(ctx.regs[ra])
+			if ctx.sel == nil {
+				primitives.MulVC(d[:ctx.n], x, k, nil)
+			} else {
+				primitives.MulVC(d, x, k, ctx.sel)
+			}
+			return nil
+		}, nil
+	case fn == "*":
+		ra, rb := a.reg, b.reg
+		return func(ctx *evalCtx) error {
+			d, x, y := sl(ctx.regs[dst]), sl(ctx.regs[ra]), sl(ctx.regs[rb])
+			if ctx.sel == nil {
+				primitives.MulVV(d[:ctx.n], x, y, nil)
+			} else {
+				primitives.MulVV(d, x, y, ctx.sel)
+			}
+			return nil
+		}, nil
+	}
+	return nil, fmt.Errorf("expr: unsupported integer arithmetic %q", fn)
+}
+
+func floatArith(fn string, a, b argSlot, dst int, mode Mode, c *compiler) (instr, error) {
+	sl, cv := sF64, cF64
+	switch {
+	case fn == "/" && b.isConst():
+		ra, k := a.reg, cv(b.val)
+		checked := mode.Checked || mode.Naive
+		return func(ctx *evalCtx) error {
+			d, x := sl(ctx.regs[dst]), sl(ctx.regs[ra])
+			sel := ctx.sel
+			if sel == nil {
+				d = d[:ctx.n]
+			}
+			if checked {
+				return primitives.CheckedDivVCF(d, x, k, sel)
+			}
+			primitives.DivVCF(d, x, k, sel)
+			return nil
+		}, nil
+	case fn == "/":
+		av := c.materialize(a)
+		bv := c.materialize(b)
+		ra, rb := av.reg, bv.reg
+		checked := mode.Checked || mode.Naive
+		return func(ctx *evalCtx) error {
+			d, x, y := sl(ctx.regs[dst]), sl(ctx.regs[ra]), sl(ctx.regs[rb])
+			sel := ctx.sel
+			if sel == nil {
+				d = d[:ctx.n]
+			}
+			if checked {
+				return primitives.CheckedDivVVF(d, x, y, sel)
+			}
+			primitives.DivVVF(d, x, y, sel)
+			return nil
+		}, nil
+	case (fn == "+" || fn == "*") && a.isConst():
+		a, b = b, a
+	}
+	switch fn {
+	case "+":
+		if b.isConst() {
+			ra, k := a.reg, cv(b.val)
+			return func(ctx *evalCtx) error {
+				d, x := sl(ctx.regs[dst]), sl(ctx.regs[ra])
+				if ctx.sel == nil {
+					primitives.AddVC(d[:ctx.n], x, k, nil)
+				} else {
+					primitives.AddVC(d, x, k, ctx.sel)
+				}
+				return nil
+			}, nil
+		}
+		ra, rb := a.reg, b.reg
+		return func(ctx *evalCtx) error {
+			d, x, y := sl(ctx.regs[dst]), sl(ctx.regs[ra]), sl(ctx.regs[rb])
+			if ctx.sel == nil {
+				primitives.AddVV(d[:ctx.n], x, y, nil)
+			} else {
+				primitives.AddVV(d, x, y, ctx.sel)
+			}
+			return nil
+		}, nil
+	case "-":
+		switch {
+		case b.isConst():
+			ra, k := a.reg, cv(b.val)
+			return func(ctx *evalCtx) error {
+				d, x := sl(ctx.regs[dst]), sl(ctx.regs[ra])
+				if ctx.sel == nil {
+					primitives.SubVC(d[:ctx.n], x, k, nil)
+				} else {
+					primitives.SubVC(d, x, k, ctx.sel)
+				}
+				return nil
+			}, nil
+		case a.isConst():
+			rb, k := b.reg, cv(a.val)
+			return func(ctx *evalCtx) error {
+				d, y := sl(ctx.regs[dst]), sl(ctx.regs[rb])
+				if ctx.sel == nil {
+					primitives.SubCV(d[:ctx.n], k, y, nil)
+				} else {
+					primitives.SubCV(d, k, y, ctx.sel)
+				}
+				return nil
+			}, nil
+		default:
+			ra, rb := a.reg, b.reg
+			return func(ctx *evalCtx) error {
+				d, x, y := sl(ctx.regs[dst]), sl(ctx.regs[ra]), sl(ctx.regs[rb])
+				if ctx.sel == nil {
+					primitives.SubVV(d[:ctx.n], x, y, nil)
+				} else {
+					primitives.SubVV(d, x, y, ctx.sel)
+				}
+				return nil
+			}, nil
+		}
+	case "*":
+		if b.isConst() {
+			ra, k := a.reg, cv(b.val)
+			return func(ctx *evalCtx) error {
+				d, x := sl(ctx.regs[dst]), sl(ctx.regs[ra])
+				if ctx.sel == nil {
+					primitives.MulVC(d[:ctx.n], x, k, nil)
+				} else {
+					primitives.MulVC(d, x, k, ctx.sel)
+				}
+				return nil
+			}, nil
+		}
+		ra, rb := a.reg, b.reg
+		return func(ctx *evalCtx) error {
+			d, x, y := sl(ctx.regs[dst]), sl(ctx.regs[ra]), sl(ctx.regs[rb])
+			if ctx.sel == nil {
+				primitives.MulVV(d[:ctx.n], x, y, nil)
+			} else {
+				primitives.MulVV(d, x, y, ctx.sel)
+			}
+			return nil
+		}, nil
+	}
+	return nil, fmt.Errorf("expr: unsupported float arithmetic %q", fn)
+}
+
+// --- comparisons ---
+
+func buildCmp(fn string, args []argSlot, dst int, c *compiler) (instr, error) {
+	a, b := args[0], args[1]
+	if a.isConst() && b.isConst() {
+		a = c.materialize(a)
+	}
+	// Mirror constant-on-left into constant-on-right.
+	if a.isConst() && !b.isConst() {
+		a, b = b, a
+		fn = mirrorCmp(fn)
+	}
+	switch a.kind {
+	case types.KindInt32, types.KindDate:
+		return cmpIns(fn, a, b, dst, c, sI32, cI32)
+	case types.KindInt64:
+		return cmpIns(fn, a, b, dst, c, sI64, cI64)
+	case types.KindFloat64:
+		return cmpIns(fn, a, b, dst, c, sF64, cF64)
+	case types.KindString:
+		return cmpIns(fn, a, b, dst, c, sStr, cStr)
+	case types.KindBool:
+		return cmpBoolIns(fn, a, b, dst, c)
+	}
+	return nil, fmt.Errorf("expr: comparison on %v", a.kind)
+}
+
+func mirrorCmp(fn string) string {
+	switch fn {
+	case "<":
+		return ">"
+	case "<=":
+		return ">="
+	case ">":
+		return "<"
+	case ">=":
+		return "<="
+	}
+	return fn // = and <> are symmetric
+}
+
+func cmpIns[T primitives.Ordered](
+	fn string, a, b argSlot, dst int, c *compiler,
+	sl func(*vec.Vector) []T, cv func(types.Value) T,
+) (instr, error) {
+	if b.isConst() {
+		ra, k := a.reg, cv(b.val)
+		var f func(dst []bool, a []T, c T, sel []int32)
+		switch fn {
+		case "=":
+			f = primitives.CmpEqVC[T]
+		case "<>":
+			f = primitives.CmpNeVC[T]
+		case "<":
+			f = primitives.CmpLtVC[T]
+		case "<=":
+			f = primitives.CmpLeVC[T]
+		case ">":
+			f = primitives.CmpGtVC[T]
+		case ">=":
+			f = primitives.CmpGeVC[T]
+		default:
+			return nil, fmt.Errorf("expr: comparison %q", fn)
+		}
+		return func(ctx *evalCtx) error {
+			d, x := ctx.regs[dst].Bool, sl(ctx.regs[ra])
+			if ctx.sel == nil {
+				f(d[:ctx.n], x, k, nil)
+			} else {
+				f(d, x, k, ctx.sel)
+			}
+			return nil
+		}, nil
+	}
+	av := c.materialize(a)
+	ra, rb := av.reg, b.reg
+	var f func(dst []bool, a, b []T, sel []int32)
+	switch fn {
+	case "=":
+		f = primitives.CmpEqVV[T]
+	case "<>":
+		f = primitives.CmpNeVV[T]
+	case "<":
+		f = primitives.CmpLtVV[T]
+	case "<=":
+		f = primitives.CmpLeVV[T]
+	case ">":
+		f = primitives.CmpGtVV[T]
+	case ">=":
+		f = primitives.CmpGeVV[T]
+	default:
+		return nil, fmt.Errorf("expr: comparison %q", fn)
+	}
+	return func(ctx *evalCtx) error {
+		d, x, y := ctx.regs[dst].Bool, sl(ctx.regs[ra]), sl(ctx.regs[rb])
+		if ctx.sel == nil {
+			f(d[:ctx.n], x, y, nil)
+		} else {
+			f(d, x, y, ctx.sel)
+		}
+		return nil
+	}, nil
+}
+
+func cmpBoolIns(fn string, a, b argSlot, dst int, c *compiler) (instr, error) {
+	av := c.materialize(a)
+	bv := c.materialize(b)
+	ra, rb := av.reg, bv.reg
+	eq := fn == "="
+	if fn != "=" && fn != "<>" {
+		return nil, fmt.Errorf("expr: ordering comparison on BOOLEAN")
+	}
+	return func(ctx *evalCtx) error {
+		d, x, y := ctx.regs[dst].Bool, ctx.regs[ra].Bool, ctx.regs[rb].Bool
+		if ctx.sel == nil {
+			for i := 0; i < ctx.n; i++ {
+				d[i] = (x[i] == y[i]) == eq
+			}
+		} else {
+			for _, i := range ctx.sel {
+				d[i] = (x[i] == y[i]) == eq
+			}
+		}
+		return nil
+	}, nil
+}
+
+// --- logical, if, between ---
+
+func buildLogical(fn string, args []argSlot, dst int, c *compiler) (instr, error) {
+	if fn == "not" {
+		av := c.materialize(args[0])
+		ra := av.reg
+		return func(ctx *evalCtx) error {
+			d, x := ctx.regs[dst].Bool, ctx.regs[ra].Bool
+			if ctx.sel == nil {
+				primitives.NotBool(d[:ctx.n], x, nil)
+			} else {
+				primitives.NotBool(d, x, ctx.sel)
+			}
+			return nil
+		}, nil
+	}
+	av := c.materialize(args[0])
+	bv := c.materialize(args[1])
+	ra, rb := av.reg, bv.reg
+	and := fn == "and"
+	return func(ctx *evalCtx) error {
+		d, x, y := ctx.regs[dst].Bool, ctx.regs[ra].Bool, ctx.regs[rb].Bool
+		sel := ctx.sel
+		if sel == nil {
+			d = d[:ctx.n]
+		}
+		if and {
+			primitives.AndBool(d, x, y, sel)
+		} else {
+			primitives.OrBool(d, x, y, sel)
+		}
+		return nil
+	}, nil
+}
+
+func buildIf(args []argSlot, dst int, dstKind types.Kind, c *compiler) (instr, error) {
+	cond := c.materialize(args[0])
+	a := c.materialize(args[1])
+	b := c.materialize(args[2])
+	rc, ra, rb := cond.reg, a.reg, b.reg
+	run := func(ctx *evalCtx, gen func(dst *vec.Vector, cond []bool, a, b *vec.Vector, sel []int32, n int)) error {
+		gen(ctx.regs[dst], ctx.regs[rc].Bool, ctx.regs[ra], ctx.regs[rb], ctx.sel, ctx.n)
+		return nil
+	}
+	switch dstKind {
+	case types.KindBool:
+		return func(ctx *evalCtx) error {
+			return run(ctx, func(d *vec.Vector, cond []bool, a, b *vec.Vector, sel []int32, n int) {
+				dd := d.Bool
+				if sel == nil {
+					dd = dd[:n]
+				}
+				primitives.IfThenElse(dd, cond, a.Bool, b.Bool, sel)
+			})
+		}, nil
+	case types.KindInt32, types.KindDate:
+		return func(ctx *evalCtx) error {
+			return run(ctx, func(d *vec.Vector, cond []bool, a, b *vec.Vector, sel []int32, n int) {
+				dd := d.I32
+				if sel == nil {
+					dd = dd[:n]
+				}
+				primitives.IfThenElse(dd, cond, a.I32, b.I32, sel)
+			})
+		}, nil
+	case types.KindInt64:
+		return func(ctx *evalCtx) error {
+			return run(ctx, func(d *vec.Vector, cond []bool, a, b *vec.Vector, sel []int32, n int) {
+				dd := d.I64
+				if sel == nil {
+					dd = dd[:n]
+				}
+				primitives.IfThenElse(dd, cond, a.I64, b.I64, sel)
+			})
+		}, nil
+	case types.KindFloat64:
+		return func(ctx *evalCtx) error {
+			return run(ctx, func(d *vec.Vector, cond []bool, a, b *vec.Vector, sel []int32, n int) {
+				dd := d.F64
+				if sel == nil {
+					dd = dd[:n]
+				}
+				primitives.IfThenElse(dd, cond, a.F64, b.F64, sel)
+			})
+		}, nil
+	case types.KindString:
+		return func(ctx *evalCtx) error {
+			return run(ctx, func(d *vec.Vector, cond []bool, a, b *vec.Vector, sel []int32, n int) {
+				dd := d.Str
+				if sel == nil {
+					dd = dd[:n]
+				}
+				primitives.IfThenElse(dd, cond, a.Str, b.Str, sel)
+			})
+		}, nil
+	}
+	return nil, fmt.Errorf("expr: if on %v", dstKind)
+}
+
+func buildBetween(args []argSlot, dst int, c *compiler) (instr, error) {
+	// Materialized BETWEEN producing a bool vector; the filter compiler has
+	// a dedicated fused selection path instead.
+	x := args[0]
+	lo := args[1]
+	hi := args[2]
+	if !lo.isConst() || !hi.isConst() {
+		// General shape: (x >= lo) AND (x <= hi).
+		ge, err := buildCmp(">=", []argSlot{x, lo}, dst, c)
+		if err != nil {
+			return nil, err
+		}
+		tmp := c.allocReg(types.KindBool)
+		le, err := buildCmp("<=", []argSlot{x, hi}, tmp, c)
+		if err != nil {
+			return nil, err
+		}
+		return func(ctx *evalCtx) error {
+			if err := ge(ctx); err != nil {
+				return err
+			}
+			if err := le(ctx); err != nil {
+				return err
+			}
+			d, y := ctx.regs[dst].Bool, ctx.regs[tmp].Bool
+			if ctx.sel == nil {
+				primitives.AndBool(d[:ctx.n], d, y, nil)
+			} else {
+				primitives.AndBool(d, d, y, ctx.sel)
+			}
+			return nil
+		}, nil
+	}
+	switch x.kind {
+	case types.KindInt32, types.KindDate:
+		return betweenIns(x, lo, hi, dst, sI32, cI32)
+	case types.KindInt64:
+		return betweenIns(x, lo, hi, dst, sI64, cI64)
+	case types.KindFloat64:
+		return betweenIns(x, lo, hi, dst, sF64, cF64)
+	case types.KindString:
+		return betweenIns(x, lo, hi, dst, sStr, cStr)
+	}
+	return nil, fmt.Errorf("expr: between on %v", x.kind)
+}
+
+func betweenIns[T primitives.Ordered](
+	x, lo, hi argSlot, dst int,
+	sl func(*vec.Vector) []T, cv func(types.Value) T,
+) (instr, error) {
+	rx, klo, khi := x.reg, cv(lo.val), cv(hi.val)
+	return func(ctx *evalCtx) error {
+		d, a := ctx.regs[dst].Bool, sl(ctx.regs[rx])
+		if ctx.sel == nil {
+			for i := 0; i < ctx.n; i++ {
+				d[i] = a[i] >= klo && a[i] <= khi
+			}
+		} else {
+			for _, i := range ctx.sel {
+				d[i] = a[i] >= klo && a[i] <= khi
+			}
+		}
+		return nil
+	}, nil
+}
+
+// --- casts ---
+
+func buildCast(fn string, args []argSlot, dst int, c *compiler) (instr, error) {
+	a := c.materialize(args[0])
+	ra := a.reg
+	switch fn {
+	case "cast_int32":
+		switch a.kind {
+		case types.KindInt32, types.KindDate:
+			return aliasCopyIns(ra, dst, sI32), nil
+		case types.KindInt64:
+			return castIns(ra, dst, sI64, sI32), nil
+		case types.KindFloat64:
+			return castIns(ra, dst, sF64, sI32), nil
+		}
+	case "cast_int64":
+		switch a.kind {
+		case types.KindInt32, types.KindDate:
+			return castIns(ra, dst, sI32, sI64), nil
+		case types.KindInt64:
+			return aliasCopyIns(ra, dst, sI64), nil
+		case types.KindFloat64:
+			return castIns(ra, dst, sF64, sI64), nil
+		case types.KindBool:
+			return func(ctx *evalCtx) error {
+				d, x := ctx.regs[dst].I64, ctx.regs[ra].Bool
+				set := func(i int) {
+					if x[i] {
+						d[i] = 1
+					} else {
+						d[i] = 0
+					}
+				}
+				if ctx.sel == nil {
+					for i := 0; i < ctx.n; i++ {
+						set(i)
+					}
+				} else {
+					for _, i := range ctx.sel {
+						set(int(i))
+					}
+				}
+				return nil
+			}, nil
+		}
+	case "cast_float64":
+		switch a.kind {
+		case types.KindInt32:
+			return castIns(ra, dst, sI32, sF64), nil
+		case types.KindInt64:
+			return castIns(ra, dst, sI64, sF64), nil
+		case types.KindFloat64:
+			return aliasCopyIns(ra, dst, sF64), nil
+		}
+	case "cast_string":
+		srcKind := a.kind
+		return func(ctx *evalCtx) error {
+			d := ctx.regs[dst].Str
+			src := ctx.regs[ra]
+			conv := func(i int) string {
+				switch srcKind {
+				case types.KindInt32:
+					return strconv.FormatInt(int64(src.I32[i]), 10)
+				case types.KindInt64:
+					return strconv.FormatInt(src.I64[i], 10)
+				case types.KindFloat64:
+					return strconv.FormatFloat(src.F64[i], 'g', -1, 64)
+				case types.KindBool:
+					if src.Bool[i] {
+						return "true"
+					}
+					return "false"
+				case types.KindDate:
+					return types.FormatDate(src.I32[i])
+				default:
+					return src.Str[i]
+				}
+			}
+			if ctx.sel == nil {
+				for i := 0; i < ctx.n; i++ {
+					d[i] = conv(i)
+				}
+			} else {
+				for _, i := range ctx.sel {
+					d[i] = conv(int(i))
+				}
+			}
+			return nil
+		}, nil
+	}
+	return nil, fmt.Errorf("expr: unsupported cast %s from %v", fn, a.kind)
+}
+
+func castIns[S, D primitives.Num](ra, dst int, slS func(*vec.Vector) []S, slD func(*vec.Vector) []D) instr {
+	return func(ctx *evalCtx) error {
+		d, x := slD(ctx.regs[dst]), slS(ctx.regs[ra])
+		if ctx.sel == nil {
+			primitives.CastNum(d[:ctx.n], x, nil)
+		} else {
+			primitives.CastNum(d, x, ctx.sel)
+		}
+		return nil
+	}
+}
+
+func aliasCopyIns[T any](ra, dst int, sl func(*vec.Vector) []T) instr {
+	return func(ctx *evalCtx) error {
+		d, x := sl(ctx.regs[dst]), sl(ctx.regs[ra])
+		if ctx.sel == nil {
+			copy(d[:ctx.n], x[:ctx.n])
+		} else {
+			for _, i := range ctx.sel {
+				d[i] = x[i]
+			}
+		}
+		return nil
+	}
+}
+
+// --- unary numeric ---
+
+func buildUnaryNum(fn string, args []argSlot, dst int, dstKind types.Kind) (instr, error) {
+	a := args[0]
+	if a.isConst() {
+		return nil, fmt.Errorf("expr: %s of constant should be folded", fn)
+	}
+	switch dstKind {
+	case types.KindInt32:
+		return unaryNumIns(fn, a.reg, dst, sI32)
+	case types.KindInt64:
+		return unaryNumIns(fn, a.reg, dst, sI64)
+	case types.KindFloat64:
+		return unaryNumIns(fn, a.reg, dst, sF64)
+	}
+	return nil, fmt.Errorf("expr: %s on %v", fn, dstKind)
+}
+
+func unaryNumIns[T primitives.Num](fn string, ra, dst int, sl func(*vec.Vector) []T) (instr, error) {
+	var f func(dst, a []T, sel []int32)
+	switch fn {
+	case "neg":
+		f = primitives.NegV[T]
+	case "abs":
+		f = primitives.AbsV[T]
+	case "sign":
+		f = primitives.SignV[T]
+	default:
+		return nil, fmt.Errorf("expr: unary %q", fn)
+	}
+	return func(ctx *evalCtx) error {
+		d, x := sl(ctx.regs[dst]), sl(ctx.regs[ra])
+		if ctx.sel == nil {
+			f(d[:ctx.n], x, nil)
+		} else {
+			f(d, x, ctx.sel)
+		}
+		return nil
+	}, nil
+}
+
+// --- min2/max2 ---
+
+func buildMinMax2(fn string, args []argSlot, dst int, dstKind types.Kind, c *compiler) (instr, error) {
+	a := c.materialize(args[0])
+	b := c.materialize(args[1])
+	isMin := fn == "min2"
+	switch dstKind {
+	case types.KindInt32, types.KindDate:
+		return minMaxIns(isMin, a.reg, b.reg, dst, sI32), nil
+	case types.KindInt64:
+		return minMaxIns(isMin, a.reg, b.reg, dst, sI64), nil
+	case types.KindFloat64:
+		return minMaxIns(isMin, a.reg, b.reg, dst, sF64), nil
+	case types.KindString:
+		return minMaxIns(isMin, a.reg, b.reg, dst, sStr), nil
+	}
+	return nil, fmt.Errorf("expr: %s on %v", fn, dstKind)
+}
+
+func minMaxIns[T primitives.Ordered](isMin bool, ra, rb, dst int, sl func(*vec.Vector) []T) instr {
+	return func(ctx *evalCtx) error {
+		d, x, y := sl(ctx.regs[dst]), sl(ctx.regs[ra]), sl(ctx.regs[rb])
+		sel := ctx.sel
+		if sel == nil {
+			d = d[:ctx.n]
+		}
+		if isMin {
+			primitives.MinVV(d, x, y, sel)
+		} else {
+			primitives.MaxVV(d, x, y, sel)
+		}
+		return nil
+	}
+}
+
+// --- strings ---
+
+func buildString(fn string, args []argSlot, dst int, c *compiler) (instr, error) {
+	switch fn {
+	case "upper", "lower", "trim", "ltrim", "rtrim":
+		a := c.materialize(args[0])
+		ra := a.reg
+		var f func(dst, a []string, sel []int32)
+		switch fn {
+		case "upper":
+			f = primitives.UpperV
+		case "lower":
+			f = primitives.LowerV
+		case "trim":
+			f = primitives.TrimV
+		case "ltrim":
+			f = primitives.LTrimV
+		case "rtrim":
+			f = primitives.RTrimV
+		}
+		return func(ctx *evalCtx) error {
+			d, x := ctx.regs[dst].Str, ctx.regs[ra].Str
+			if ctx.sel == nil {
+				f(d[:ctx.n], x, nil)
+			} else {
+				f(d, x, ctx.sel)
+			}
+			return nil
+		}, nil
+	case "length":
+		a := c.materialize(args[0])
+		ra := a.reg
+		return func(ctx *evalCtx) error {
+			d, x := ctx.regs[dst].I64, ctx.regs[ra].Str
+			if ctx.sel == nil {
+				primitives.LengthV(d[:ctx.n], x, nil)
+			} else {
+				primitives.LengthV(d, x, ctx.sel)
+			}
+			return nil
+		}, nil
+	case "||", "concat":
+		a, b := args[0], args[1]
+		switch {
+		case b.isConst() && !a.isConst():
+			ra, k := a.reg, b.val.Str
+			return func(ctx *evalCtx) error {
+				d, x := ctx.regs[dst].Str, ctx.regs[ra].Str
+				if ctx.sel == nil {
+					primitives.ConcatVC(d[:ctx.n], x, k, nil)
+				} else {
+					primitives.ConcatVC(d, x, k, ctx.sel)
+				}
+				return nil
+			}, nil
+		case a.isConst() && !b.isConst():
+			rb, k := b.reg, a.val.Str
+			return func(ctx *evalCtx) error {
+				d, y := ctx.regs[dst].Str, ctx.regs[rb].Str
+				if ctx.sel == nil {
+					primitives.ConcatCV(d[:ctx.n], k, y, nil)
+				} else {
+					primitives.ConcatCV(d, k, y, ctx.sel)
+				}
+				return nil
+			}, nil
+		default:
+			av := c.materialize(a)
+			bv := c.materialize(b)
+			ra, rb := av.reg, bv.reg
+			return func(ctx *evalCtx) error {
+				d, x, y := ctx.regs[dst].Str, ctx.regs[ra].Str, ctx.regs[rb].Str
+				if ctx.sel == nil {
+					primitives.ConcatVV(d[:ctx.n], x, y, nil)
+				} else {
+					primitives.ConcatVV(d, x, y, ctx.sel)
+				}
+				return nil
+			}, nil
+		}
+	case "substr":
+		a := c.materialize(args[0])
+		ra := a.reg
+		if args[1].isConst() && args[2].isConst() {
+			start, length := args[1].val.AsInt(), args[2].val.AsInt()
+			return func(ctx *evalCtx) error {
+				d, x := ctx.regs[dst].Str, ctx.regs[ra].Str
+				if ctx.sel == nil {
+					primitives.SubstrVCC(d[:ctx.n], x, start, length, nil)
+				} else {
+					primitives.SubstrVCC(d, x, start, length, ctx.sel)
+				}
+				return nil
+			}, nil
+		}
+		st, err := toI64(c, args[1])
+		if err != nil {
+			return nil, err
+		}
+		ln, err := toI64(c, args[2])
+		if err != nil {
+			return nil, err
+		}
+		rs, rl := st.reg, ln.reg
+		return func(ctx *evalCtx) error {
+			d, x := ctx.regs[dst].Str, ctx.regs[ra].Str
+			s, l := ctx.regs[rs].I64, ctx.regs[rl].I64
+			if ctx.sel == nil {
+				primitives.SubstrVVV(d[:ctx.n], x, s, l, nil)
+			} else {
+				primitives.SubstrVVV(d, x, s, l, ctx.sel)
+			}
+			return nil
+		}, nil
+	case "replace":
+		if !args[1].isConst() || !args[2].isConst() {
+			return nil, fmt.Errorf("expr: replace patterns must be constant")
+		}
+		a := c.materialize(args[0])
+		ra, old, new := a.reg, args[1].val.Str, args[2].val.Str
+		return func(ctx *evalCtx) error {
+			d, x := ctx.regs[dst].Str, ctx.regs[ra].Str
+			if ctx.sel == nil {
+				primitives.ReplaceVCC(d[:ctx.n], x, old, new, nil)
+			} else {
+				primitives.ReplaceVCC(d, x, old, new, ctx.sel)
+			}
+			return nil
+		}, nil
+	case "position":
+		if !args[1].isConst() {
+			return nil, fmt.Errorf("expr: position needle must be constant")
+		}
+		a := c.materialize(args[0])
+		ra, needle := a.reg, args[1].val.Str
+		return func(ctx *evalCtx) error {
+			d, x := ctx.regs[dst].I64, ctx.regs[ra].Str
+			if ctx.sel == nil {
+				primitives.PositionVC(d[:ctx.n], x, needle, nil)
+			} else {
+				primitives.PositionVC(d, x, needle, ctx.sel)
+			}
+			return nil
+		}, nil
+	case "lpad", "rpad":
+		if !args[1].isConst() || !args[2].isConst() {
+			return nil, fmt.Errorf("expr: pad arguments must be constant")
+		}
+		a := c.materialize(args[0])
+		ra, width, pad := a.reg, args[1].val.AsInt(), args[2].val.Str
+		left := fn == "lpad"
+		return func(ctx *evalCtx) error {
+			d, x := ctx.regs[dst].Str, ctx.regs[ra].Str
+			sel := ctx.sel
+			if sel == nil {
+				d = d[:ctx.n]
+			}
+			if left {
+				primitives.LPadVC(d, x, width, pad, sel)
+			} else {
+				primitives.RPadVC(d, x, width, pad, sel)
+			}
+			return nil
+		}, nil
+	case "like", "starts_with", "ends_with", "contains":
+		if !args[1].isConst() {
+			return nil, fmt.Errorf("expr: %s pattern must be constant", fn)
+		}
+		a := c.materialize(args[0])
+		ra := a.reg
+		pat := args[1].val.Str
+		var m *primitives.LikeMatcher
+		switch fn {
+		case "like":
+			m = primitives.CompileLike(pat)
+		case "starts_with":
+			m = primitives.CompileLike(escapeLike(pat) + "%")
+		case "ends_with":
+			m = primitives.CompileLike("%" + escapeLike(pat))
+		case "contains":
+			m = primitives.CompileLike("%" + escapeLike(pat) + "%")
+		}
+		return func(ctx *evalCtx) error {
+			d, x := ctx.regs[dst].Bool, ctx.regs[ra].Str
+			if ctx.sel == nil {
+				primitives.LikeV(d[:ctx.n], x, m, nil)
+			} else {
+				primitives.LikeV(d, x, m, ctx.sel)
+			}
+			return nil
+		}, nil
+	}
+	return nil, fmt.Errorf("expr: unsupported string function %q", fn)
+}
+
+func escapeLike(s string) string {
+	r := strings.NewReplacer(`\`, `\\`, `%`, `\%`, `_`, `\_`)
+	return r.Replace(s)
+}
+
+// toI64 coerces an integral slot into an int64 register.
+func toI64(c *compiler, s argSlot) (argSlot, error) {
+	if s.isConst() {
+		v := types.NewInt64(s.val.AsInt())
+		return c.materialize(argSlot{reg: -1, val: v, kind: types.KindInt64}), nil
+	}
+	if s.kind == types.KindInt64 {
+		return s, nil
+	}
+	if s.kind != types.KindInt32 {
+		return argSlot{}, fmt.Errorf("expr: expected integer, got %v", s.kind)
+	}
+	dst := c.allocReg(types.KindInt64)
+	c.prog = append(c.prog, castIns(s.reg, dst, sI32, sI64))
+	return argSlot{reg: dst, kind: types.KindInt64}, nil
+}
+
+// --- dates ---
+
+func buildDate(fn string, args []argSlot, dst int, c *compiler) (instr, error) {
+	a := c.materialize(args[0])
+	ra := a.reg
+	switch fn {
+	case "year", "month", "day", "quarter", "dayofweek":
+		var f func(dst, a []int32, sel []int32)
+		switch fn {
+		case "year":
+			f = primitives.DateYearV
+		case "month":
+			f = primitives.DateMonthV
+		case "day":
+			f = primitives.DateDayV
+		case "quarter":
+			f = primitives.DateQuarterV
+		case "dayofweek":
+			f = primitives.DateDowV
+		}
+		return func(ctx *evalCtx) error {
+			d, x := ctx.regs[dst].I32, ctx.regs[ra].I32
+			if ctx.sel == nil {
+				f(d[:ctx.n], x, nil)
+			} else {
+				f(d, x, ctx.sel)
+			}
+			return nil
+		}, nil
+	case "date_add", "add_months":
+		months := fn == "add_months"
+		if args[1].isConst() {
+			k := int32(args[1].val.AsInt())
+			return func(ctx *evalCtx) error {
+				d, x := ctx.regs[dst].I32, ctx.regs[ra].I32
+				sel := ctx.sel
+				if sel == nil {
+					d = d[:ctx.n]
+				}
+				if months {
+					primitives.DateAddMonthsVC(d, x, k, sel)
+				} else {
+					primitives.DateAddDaysVC(d, x, k, sel)
+				}
+				return nil
+			}, nil
+		}
+		nSlot, err := toI64(c, args[1])
+		if err != nil {
+			return nil, err
+		}
+		rn := nSlot.reg
+		return func(ctx *evalCtx) error {
+			d, x, nn := ctx.regs[dst].I32, ctx.regs[ra].I32, ctx.regs[rn].I64
+			apply := func(i int) {
+				if months {
+					d[i] = types.DateAddMonths(x[i], int32(nn[i]))
+				} else {
+					d[i] = x[i] + int32(nn[i])
+				}
+			}
+			if ctx.sel == nil {
+				for i := 0; i < ctx.n; i++ {
+					apply(i)
+				}
+			} else {
+				for _, i := range ctx.sel {
+					apply(int(i))
+				}
+			}
+			return nil
+		}, nil
+	case "date_diff":
+		b := c.materialize(args[1])
+		rb := b.reg
+		return func(ctx *evalCtx) error {
+			d, x, y := ctx.regs[dst].I64, ctx.regs[ra].I32, ctx.regs[rb].I32
+			if ctx.sel == nil {
+				primitives.DateDiffVV(d[:ctx.n], x, y, nil)
+			} else {
+				primitives.DateDiffVV(d, x, y, ctx.sel)
+			}
+			return nil
+		}, nil
+	}
+	return nil, fmt.Errorf("expr: unsupported date function %q", fn)
+}
+
+// --- math ---
+
+func buildMath(fn string, args []argSlot, dst int, c *compiler) (instr, error) {
+	a := c.materialize(args[0])
+	ra := a.reg
+	switch fn {
+	case "sqrt", "floor", "ceil", "ln", "exp":
+		var f func(dst, a []float64, sel []int32)
+		switch fn {
+		case "sqrt":
+			f = primitives.SqrtV
+		case "floor":
+			f = primitives.FloorV
+		case "ceil":
+			f = primitives.CeilV
+		case "ln":
+			f = primitives.LnV
+		case "exp":
+			f = primitives.ExpV
+		}
+		return func(ctx *evalCtx) error {
+			d, x := ctx.regs[dst].F64, ctx.regs[ra].F64
+			if ctx.sel == nil {
+				f(d[:ctx.n], x, nil)
+			} else {
+				f(d, x, ctx.sel)
+			}
+			return nil
+		}, nil
+	case "round":
+		if !args[1].isConst() {
+			return nil, fmt.Errorf("expr: round digits must be constant")
+		}
+		digits := args[1].val.AsInt()
+		return func(ctx *evalCtx) error {
+			d, x := ctx.regs[dst].F64, ctx.regs[ra].F64
+			if ctx.sel == nil {
+				primitives.RoundV(d[:ctx.n], x, digits, nil)
+			} else {
+				primitives.RoundV(d, x, digits, ctx.sel)
+			}
+			return nil
+		}, nil
+	case "power":
+		if args[1].isConst() {
+			k := args[1].val.AsFloat()
+			return func(ctx *evalCtx) error {
+				d, x := ctx.regs[dst].F64, ctx.regs[ra].F64
+				if ctx.sel == nil {
+					primitives.PowVC(d[:ctx.n], x, k, nil)
+				} else {
+					primitives.PowVC(d, x, k, ctx.sel)
+				}
+				return nil
+			}, nil
+		}
+		b := c.materialize(args[1])
+		rb := b.reg
+		return func(ctx *evalCtx) error {
+			d, x, y := ctx.regs[dst].F64, ctx.regs[ra].F64, ctx.regs[rb].F64
+			apply := func(i int) { d[i] = pow(x[i], y[i]) }
+			if ctx.sel == nil {
+				for i := 0; i < ctx.n; i++ {
+					apply(i)
+				}
+			} else {
+				for _, i := range ctx.sel {
+					apply(int(i))
+				}
+			}
+			return nil
+		}, nil
+	}
+	return nil, fmt.Errorf("expr: unsupported math function %q", fn)
+}

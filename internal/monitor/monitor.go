@@ -1,0 +1,196 @@
+// Package monitor provides the system-monitoring facilities the paper lists
+// under "mundane things": event logging, an active-query registry with
+// cancellation handles, per-query statistics and resource (memory)
+// reporting.
+package monitor
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+)
+
+// EventKind classifies log events.
+type EventKind string
+
+// Common event kinds.
+const (
+	EvQueryStart  EventKind = "query.start"
+	EvQueryEnd    EventKind = "query.end"
+	EvQueryError  EventKind = "query.error"
+	EvQueryCancel EventKind = "query.cancel"
+	EvDDL         EventKind = "ddl"
+	EvCheckpoint  EventKind = "checkpoint"
+	EvLoad        EventKind = "load"
+)
+
+// Event is one log record.
+type Event struct {
+	Time time.Time
+	Kind EventKind
+	Msg  string
+}
+
+// QueryStatus is the lifecycle state of a registered query.
+type QueryStatus string
+
+// Query states.
+const (
+	StatusRunning   QueryStatus = "running"
+	StatusDone      QueryStatus = "done"
+	StatusFailed    QueryStatus = "failed"
+	StatusCancelled QueryStatus = "cancelled"
+)
+
+// QueryInfo describes one query execution.
+type QueryInfo struct {
+	ID       int64
+	SQL      string
+	Start    time.Time
+	Duration time.Duration
+	Status   QueryStatus
+	Rows     int64
+	Err      string
+
+	cancel context.CancelFunc
+}
+
+// Monitor is the engine-wide event log and query registry. The event log is
+// a bounded ring; queries are retained until evicted by newer ones.
+type Monitor struct {
+	mu       sync.Mutex
+	events   []Event
+	eventCap int
+	nextID   int64
+	active   map[int64]*QueryInfo
+	history  []*QueryInfo
+	histCap  int
+}
+
+// New builds a monitor with the given event-ring capacity.
+func New(eventCap int) *Monitor {
+	if eventCap <= 0 {
+		eventCap = 1024
+	}
+	return &Monitor{eventCap: eventCap, histCap: 256, active: map[int64]*QueryInfo{}}
+}
+
+// Log appends an event.
+func (m *Monitor) Log(kind EventKind, format string, args ...any) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.logLocked(kind, format, args...)
+}
+
+func (m *Monitor) logLocked(kind EventKind, format string, args ...any) {
+	m.events = append(m.events, Event{Time: time.Now(), Kind: kind, Msg: fmt.Sprintf(format, args...)})
+	if len(m.events) > m.eventCap {
+		m.events = m.events[len(m.events)-m.eventCap:]
+	}
+}
+
+// Events returns a snapshot of the event log, oldest first.
+func (m *Monitor) Events() []Event {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Event, len(m.events))
+	copy(out, m.events)
+	return out
+}
+
+// StartQuery registers a query and returns its info handle plus a derived
+// context the executor must use (cancellation flows through it).
+func (m *Monitor) StartQuery(ctx context.Context, sql string) (*QueryInfo, context.Context) {
+	cctx, cancel := context.WithCancel(ctx)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.nextID++
+	qi := &QueryInfo{ID: m.nextID, SQL: sql, Start: time.Now(), Status: StatusRunning, cancel: cancel}
+	m.active[qi.ID] = qi
+	m.logLocked(EvQueryStart, "q%d: %s", qi.ID, truncate(sql, 80))
+	return qi, cctx
+}
+
+// FinishQuery records the outcome.
+func (m *Monitor) FinishQuery(qi *QueryInfo, rows int64, err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	qi.Duration = time.Since(qi.Start)
+	qi.Rows = rows
+	switch {
+	case err == nil:
+		qi.Status = StatusDone
+		m.logLocked(EvQueryEnd, "q%d: %d rows in %v", qi.ID, rows, qi.Duration)
+	case qi.Status == StatusCancelled:
+		qi.Err = err.Error()
+		m.logLocked(EvQueryCancel, "q%d cancelled after %v", qi.ID, qi.Duration)
+	default:
+		qi.Status = StatusFailed
+		qi.Err = err.Error()
+		m.logLocked(EvQueryError, "q%d: %v", qi.ID, err)
+	}
+	delete(m.active, qi.ID)
+	m.history = append(m.history, qi)
+	if len(m.history) > m.histCap {
+		m.history = m.history[len(m.history)-m.histCap:]
+	}
+	qi.cancel()
+}
+
+// Cancel aborts a running query by ID ("proper query cancellation" — the
+// paper's unexpectedly hard feature request).
+func (m *Monitor) Cancel(id int64) bool {
+	m.mu.Lock()
+	qi, ok := m.active[id]
+	if ok {
+		qi.Status = StatusCancelled
+	}
+	m.mu.Unlock()
+	if !ok {
+		return false
+	}
+	qi.cancel()
+	return true
+}
+
+// Active lists running queries, oldest first.
+func (m *Monitor) Active() []QueryInfo {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]QueryInfo, 0, len(m.active))
+	for _, qi := range m.active {
+		cp := *qi
+		cp.Duration = time.Since(qi.Start)
+		out = append(out, cp)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// History lists finished queries, oldest first.
+func (m *Monitor) History() []QueryInfo {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]QueryInfo, len(m.history))
+	for i, qi := range m.history {
+		out[i] = *qi
+	}
+	return out
+}
+
+// MemStats reports process memory usage (resource monitoring).
+func MemStats() (heapBytes, totalAlloc uint64) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.HeapAlloc, ms.TotalAlloc
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "…"
+}

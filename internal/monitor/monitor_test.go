@@ -1,0 +1,79 @@
+package monitor
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+func TestQueryLifecycle(t *testing.T) {
+	m := New(16)
+	qi, ctx := m.StartQuery(context.Background(), "SELECT 1")
+	if len(m.Active()) != 1 {
+		t.Fatal("query not active")
+	}
+	if ctx.Err() != nil {
+		t.Fatal("context cancelled prematurely")
+	}
+	m.FinishQuery(qi, 42, nil)
+	if len(m.Active()) != 0 {
+		t.Fatal("query still active")
+	}
+	h := m.History()
+	if len(h) != 1 || h[0].Rows != 42 || h[0].Status != StatusDone {
+		t.Fatalf("history: %+v", h)
+	}
+	if ctx.Err() == nil {
+		t.Fatal("context should be released after finish")
+	}
+}
+
+func TestCancel(t *testing.T) {
+	m := New(16)
+	qi, ctx := m.StartQuery(context.Background(), "SELECT long")
+	if !m.Cancel(qi.ID) {
+		t.Fatal("cancel failed")
+	}
+	if ctx.Err() == nil {
+		t.Fatal("context not cancelled")
+	}
+	m.FinishQuery(qi, 0, errors.New("cancelled"))
+	h := m.History()
+	if h[0].Status != StatusCancelled {
+		t.Fatalf("status: %v", h[0].Status)
+	}
+	if m.Cancel(9999) {
+		t.Fatal("cancel of unknown id succeeded")
+	}
+}
+
+func TestFailedQuery(t *testing.T) {
+	m := New(16)
+	qi, _ := m.StartQuery(context.Background(), "SELECT boom")
+	m.FinishQuery(qi, 0, errors.New("division by zero"))
+	h := m.History()
+	if h[0].Status != StatusFailed || h[0].Err == "" {
+		t.Fatalf("failed query record: %+v", h[0])
+	}
+}
+
+func TestEventRingBounded(t *testing.T) {
+	m := New(4)
+	for i := 0; i < 20; i++ {
+		m.Log(EvDDL, "event %d", i)
+	}
+	ev := m.Events()
+	if len(ev) != 4 {
+		t.Fatalf("ring size: %d", len(ev))
+	}
+	if ev[3].Msg != "event 19" {
+		t.Fatalf("newest event: %v", ev[3].Msg)
+	}
+}
+
+func TestMemStats(t *testing.T) {
+	heap, total := MemStats()
+	if heap == 0 || total == 0 {
+		t.Fatal("memstats zero")
+	}
+}

@@ -1,0 +1,180 @@
+package optimizer
+
+import (
+	"strings"
+	"testing"
+
+	"vectorwise/internal/expr"
+	"vectorwise/internal/plan"
+	"vectorwise/internal/types"
+)
+
+type fakeStats struct {
+	rows map[string]int64
+	cols map[string]*ColStats
+}
+
+func (f *fakeStats) TableRows(t string) int64 {
+	if r, ok := f.rows[t]; ok {
+		return r
+	}
+	return -1
+}
+
+func (f *fakeStats) Column(t, c string) *ColStats { return f.cols[t+"."+c] }
+
+func mkScan(name string, key int, cols ...types.Column) *plan.Scan {
+	return &plan.Scan{Table: name, Structure: "vectorwise", Key: key,
+		Cols: types.NewSchema(cols...)}
+}
+
+func TestBuildColStats(t *testing.T) {
+	var vals []types.Value
+	for i := 0; i < 1000; i++ {
+		vals = append(vals, types.NewInt64(int64(i)))
+	}
+	st := BuildColStats(vals, 10, 100)
+	if st.Distinct != 1000 || st.Min.Int64() != 0 || st.Max.Int64() != 999 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if st.NullFrac < 0.09 || st.NullFrac > 0.1 {
+		t.Fatalf("nullfrac: %v", st.NullFrac)
+	}
+	// Histogram-based range selectivity ~ linear.
+	got := st.SelLE(types.NewInt64(499))
+	if got < 0.40 || got > 0.50 {
+		t.Fatalf("SelLE(499) = %v", got)
+	}
+	if st.SelLE(types.NewInt64(-5)) != 0 {
+		t.Fatal("below min")
+	}
+	if st.SelLE(types.NewInt64(5000)) <= 0.89 {
+		t.Fatal("above max should be ~1-nullfrac")
+	}
+	if eq := st.SelEq(); eq <= 0 || eq >= 0.01 {
+		t.Fatalf("SelEq = %v", eq)
+	}
+	// Empty stats degrade gracefully.
+	empty := BuildColStats(nil, 10, 0)
+	if empty.SelLE(types.NewInt64(1)) != defaultRangeSel {
+		t.Fatal("empty stats default")
+	}
+}
+
+func TestPushdownThroughProjectAndJoin(t *testing.T) {
+	l := mkScan("l", -1, types.Col("a", types.Int64), types.Col("x", types.Int64))
+	r := mkScan("r", -1, types.Col("b", types.Int64))
+	j := &plan.Join{Kind: plan.JoinInner, Left: l, Right: r,
+		On: expr.NewCall("=", expr.Col(0, "a", types.Int64), expr.Col(2, "b", types.Int64))}
+	pred := expr.NewCall("and",
+		expr.NewCall(">", expr.Col(1, "x", types.Int64), expr.CInt(5)),   // left side
+		expr.NewCall("<", expr.Col(2, "b", types.Int64), expr.CInt(100))) // right side
+	root := &plan.Select{Child: j, Pred: pred}
+	opt := New(nil)
+	out := opt.Optimize(root)
+	f := plan.Format(out)
+	// Both conjuncts must sit below the join.
+	jLine := strings.Index(f, "Join")
+	xLine := strings.Index(f, "(x > 5)")
+	bLine := strings.Index(f, "(b < 100)")
+	if xLine < jLine || bLine < jLine {
+		t.Fatalf("predicates not pushed below join:\n%s", f)
+	}
+}
+
+func TestCrossPredicateBecomesJoinCondition(t *testing.T) {
+	l := mkScan("l", -1, types.Col("a", types.Int64))
+	r := mkScan("r", -1, types.Col("b", types.Int64))
+	j := &plan.Join{Kind: plan.JoinCross, Left: l, Right: r}
+	root := &plan.Select{Child: j,
+		Pred: expr.NewCall("=", expr.Col(0, "a", types.Int64), expr.Col(1, "b", types.Int64))}
+	out := New(nil).Optimize(root)
+	found := false
+	var rec func(plan.Node)
+	rec = func(n plan.Node) {
+		if jj, ok := n.(*plan.Join); ok && jj.Kind == plan.JoinInner && jj.On != nil {
+			found = true
+		}
+		for _, c := range n.Children() {
+			rec(c)
+		}
+	}
+	rec(out)
+	if !found {
+		t.Fatalf("cross+pred did not become inner join:\n%s", plan.Format(out))
+	}
+}
+
+func TestJoinReorderPutsSmallFirst(t *testing.T) {
+	big := mkScan("big", -1, types.Col("a", types.Int64))
+	mid := mkScan("mid", -1, types.Col("b", types.Int64))
+	small := mkScan("small", -1, types.Col("c", types.Int64))
+	stats := &fakeStats{rows: map[string]int64{"big": 1_000_000, "mid": 10_000, "small": 10}}
+	// (big ⋈ mid) ⋈ small with chain predicates.
+	j1 := &plan.Join{Kind: plan.JoinInner, Left: big, Right: mid,
+		On: expr.NewCall("=", expr.Col(0, "a", types.Int64), expr.Col(1, "b", types.Int64))}
+	j2 := &plan.Join{Kind: plan.JoinInner, Left: j1, Right: small,
+		On: expr.NewCall("=", expr.Col(1, "b", types.Int64), expr.Col(2, "c", types.Int64))}
+	out := New(stats).Optimize(j2)
+	// The first (deepest-left) relation must be the small one.
+	var leftmost *plan.Scan
+	var rec func(plan.Node)
+	rec = func(n plan.Node) {
+		if s, ok := n.(*plan.Scan); ok && leftmost == nil {
+			leftmost = s
+		}
+		ch := n.Children()
+		if len(ch) > 0 {
+			rec(ch[0])
+		}
+	}
+	rec(out)
+	if leftmost == nil || leftmost.Table != "small" {
+		t.Fatalf("leftmost = %v:\n%s", leftmost, plan.Format(out))
+	}
+	// Output column order restored.
+	if out.Schema().Len() != 3 || out.Schema().Cols[0].Name != "a" {
+		t.Fatalf("schema after reorder: %s", out.Schema())
+	}
+}
+
+func TestGroupBySimplificationByKey(t *testing.T) {
+	s := mkScan("t", 0, types.Col("pk", types.Int64), types.Col("payload", types.String))
+	agg := &plan.Aggregate{Child: s, GroupCols: []int{0, 1},
+		Aggs: []plan.AggItem{{Fn: "count", Col: -1}}, Names: []string{"pk", "payload", "cnt"}}
+	out := New(nil).Optimize(agg)
+	var found *plan.Aggregate
+	var rec func(plan.Node)
+	rec = func(n plan.Node) {
+		if a, ok := n.(*plan.Aggregate); ok {
+			found = a
+		}
+		for _, c := range n.Children() {
+			rec(c)
+		}
+	}
+	rec(out)
+	if found == nil || len(found.GroupCols) != 1 {
+		t.Fatalf("FD simplification missed:\n%s", plan.Format(out))
+	}
+	if out.Schema().Len() != 3 {
+		t.Fatalf("schema shape: %s", out.Schema())
+	}
+}
+
+func TestEstimates(t *testing.T) {
+	stats := &fakeStats{rows: map[string]int64{"t": 10_000}}
+	o := New(stats)
+	s := mkScan("t", -1, types.Col("a", types.Int64))
+	if got := o.EstimateRows(s); got != 10_000 {
+		t.Fatalf("scan estimate: %v", got)
+	}
+	sel := &plan.Select{Child: s, Pred: expr.NewCall("=", expr.Col(0, "a", types.Int64), expr.CInt(5))}
+	if got := o.EstimateRows(sel); got != 1000 { // default eq selectivity 0.1
+		t.Fatalf("select estimate: %v", got)
+	}
+	lim := &plan.Limit{Child: s, N: 7}
+	if got := o.EstimateRows(lim); got != 7 {
+		t.Fatalf("limit estimate: %v", got)
+	}
+}

@@ -1,0 +1,135 @@
+// Package optimizer plays the Ingres-optimizer role of Figure 1: it owns
+// histogram-based cardinality estimation and rewrites logical plans —
+// predicate pushdown, join ordering, functional-dependency-based group-by
+// simplification and constant folding. The paper notes Vectorwise chose to
+// *improve* the existing histogram-based Ingres optimizer rather than write
+// a new one; accordingly this package is deliberately classical.
+package optimizer
+
+import (
+	"vectorwise/internal/types"
+)
+
+// ColStats summarizes one column for estimation.
+type ColStats struct {
+	Distinct int64
+	Min, Max types.Value
+	// Bounds are equi-depth histogram bucket upper bounds (ascending);
+	// each bucket holds ~Rows/len(Bounds) rows.
+	Bounds   []types.Value
+	NullFrac float64
+}
+
+// Stats supplies table statistics; the engine's catalog implements it
+// (populated by ANALYZE).
+type Stats interface {
+	// TableRows returns the row count, or -1 when unknown.
+	TableRows(table string) int64
+	// Column returns stats for a column, or nil when not analyzed.
+	Column(table, col string) *ColStats
+}
+
+// NoStats is a Stats that knows nothing (all defaults).
+type NoStats struct{}
+
+// TableRows implements Stats.
+func (NoStats) TableRows(string) int64 { return -1 }
+
+// Column implements Stats.
+func (NoStats) Column(string, string) *ColStats { return nil }
+
+// Default estimation constants, the classical textbook values.
+const (
+	defaultTableRows = 1000.0
+	defaultEqSel     = 0.1
+	defaultRangeSel  = 1.0 / 3.0
+	defaultLikeSel   = 0.25
+	defaultNeSel     = 0.9
+)
+
+// BuildColStats computes equi-depth histogram stats from a sorted sample of
+// column values (the ANALYZE path). buckets is the histogram resolution.
+func BuildColStats(sorted []types.Value, buckets int, nulls int64) *ColStats {
+	st := &ColStats{}
+	n := len(sorted)
+	total := int64(n) + nulls
+	if total > 0 {
+		st.NullFrac = float64(nulls) / float64(total)
+	}
+	if n == 0 {
+		return st
+	}
+	st.Min, st.Max = sorted[0], sorted[n-1]
+	distinct := int64(1)
+	for i := 1; i < n; i++ {
+		if types.Compare(sorted[i-1], sorted[i]) != 0 {
+			distinct++
+		}
+	}
+	st.Distinct = distinct
+	if buckets < 1 {
+		buckets = 1
+	}
+	if buckets > n {
+		buckets = n
+	}
+	for b := 1; b <= buckets; b++ {
+		idx := b*n/buckets - 1
+		st.Bounds = append(st.Bounds, sorted[idx])
+	}
+	return st
+}
+
+// SelLE estimates the fraction of rows with value <= v using the histogram.
+func (st *ColStats) SelLE(v types.Value) float64 {
+	if st == nil || len(st.Bounds) == 0 {
+		return defaultRangeSel
+	}
+	if types.Compare(v, st.Min) < 0 {
+		return 0
+	}
+	if types.Compare(v, st.Max) >= 0 {
+		return 1 - st.NullFrac
+	}
+	// Find the first bucket bound >= v: fraction = buckets below + partial.
+	lo, hi := 0, len(st.Bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if types.Compare(st.Bounds[mid], v) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	frac := float64(lo) / float64(len(st.Bounds))
+	// Linear interpolation within the bucket for numeric kinds.
+	if v.Kind.Numeric() || v.Kind == types.KindDate {
+		var bucketLo types.Value
+		if lo == 0 {
+			bucketLo = st.Min
+		} else {
+			bucketLo = st.Bounds[lo-1]
+		}
+		bucketHi := st.Bounds[lo]
+		span := bucketHi.AsFloat() - bucketLo.AsFloat()
+		if span > 0 {
+			part := (v.AsFloat() - bucketLo.AsFloat()) / span
+			if part < 0 {
+				part = 0
+			}
+			if part > 1 {
+				part = 1
+			}
+			frac += part / float64(len(st.Bounds))
+		}
+	}
+	return frac * (1 - st.NullFrac)
+}
+
+// SelEq estimates equality selectivity.
+func (st *ColStats) SelEq() float64 {
+	if st == nil || st.Distinct <= 0 {
+		return defaultEqSel
+	}
+	return (1 - st.NullFrac) / float64(st.Distinct)
+}

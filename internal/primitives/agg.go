@@ -1,0 +1,153 @@
+package primitives
+
+// Aggregation primitives come in two shapes, following X100:
+//
+//   - direct aggregates over a (selected) vector, returning a scalar, used
+//     for ungrouped aggregation, and
+//   - grouped aggregates, where groups[i] gives each selected row's
+//     aggregate-table slot and the primitive scatters updates into dense
+//     per-group arrays.
+
+// SumDirect returns the sum of the selected values.
+func SumDirect[T Num](a []T, sel []int32, n int) T {
+	var s T
+	if sel == nil {
+		for i := 0; i < n; i++ {
+			s += a[i]
+		}
+		return s
+	}
+	for _, i := range sel {
+		s += a[i]
+	}
+	return s
+}
+
+// CountDirect returns the number of selected values.
+func CountDirect(sel []int32, n int) int64 {
+	if sel == nil {
+		return int64(n)
+	}
+	return int64(len(sel))
+}
+
+// MinDirect returns the minimum of the selected values and whether any value
+// was present.
+func MinDirect[T Ordered](a []T, sel []int32, n int) (T, bool) {
+	var m T
+	found := false
+	if sel == nil {
+		for i := 0; i < n; i++ {
+			if !found || a[i] < m {
+				m = a[i]
+				found = true
+			}
+		}
+		return m, found
+	}
+	for _, i := range sel {
+		if !found || a[i] < m {
+			m = a[i]
+			found = true
+		}
+	}
+	return m, found
+}
+
+// MaxDirect returns the maximum of the selected values and whether any value
+// was present.
+func MaxDirect[T Ordered](a []T, sel []int32, n int) (T, bool) {
+	var m T
+	found := false
+	if sel == nil {
+		for i := 0; i < n; i++ {
+			if !found || a[i] > m {
+				m = a[i]
+				found = true
+			}
+		}
+		return m, found
+	}
+	for _, i := range sel {
+		if !found || a[i] > m {
+			m = a[i]
+			found = true
+		}
+	}
+	return m, found
+}
+
+// Grouped aggregates. groups must be parallel to the *logical* rows: when
+// sel is non-nil, groups[k] corresponds to row sel[k]; when sel is nil,
+// groups[k] corresponds to row k. This matches how the hash-aggregation
+// operator produces group positions for exactly the selected rows.
+
+// SumGrouped adds selected values into acc[groups[k]].
+func SumGrouped[T Num](acc []T, groups []int32, a []T, sel []int32, n int) {
+	if sel == nil {
+		for k := 0; k < n; k++ {
+			acc[groups[k]] += a[k]
+		}
+		return
+	}
+	for k, i := range sel {
+		acc[groups[k]] += a[i]
+	}
+}
+
+// CountGrouped increments counts for each selected row's group.
+func CountGrouped(acc []int64, groups []int32, sel []int32, n int) {
+	if sel == nil {
+		for k := 0; k < n; k++ {
+			acc[groups[k]]++
+		}
+		return
+	}
+	for k := range sel {
+		acc[groups[k]]++
+	}
+}
+
+// MinGrouped folds minima into acc; seen tracks which groups already hold a
+// value.
+func MinGrouped[T Ordered](acc []T, seen []bool, groups []int32, a []T, sel []int32, n int) {
+	if sel == nil {
+		for k := 0; k < n; k++ {
+			g := groups[k]
+			if !seen[g] || a[k] < acc[g] {
+				acc[g] = a[k]
+				seen[g] = true
+			}
+		}
+		return
+	}
+	for k, i := range sel {
+		g := groups[k]
+		if !seen[g] || a[i] < acc[g] {
+			acc[g] = a[i]
+			seen[g] = true
+		}
+	}
+}
+
+// MaxGrouped folds maxima into acc; seen tracks which groups already hold a
+// value.
+func MaxGrouped[T Ordered](acc []T, seen []bool, groups []int32, a []T, sel []int32, n int) {
+	if sel == nil {
+		for k := 0; k < n; k++ {
+			g := groups[k]
+			if !seen[g] || a[k] > acc[g] {
+				acc[g] = a[k]
+				seen[g] = true
+			}
+		}
+		return
+	}
+	for k, i := range sel {
+		g := groups[k]
+		if !seen[g] || a[i] > acc[g] {
+			acc[g] = a[i]
+			seen[g] = true
+		}
+	}
+}

@@ -1,0 +1,270 @@
+package primitives
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDirectAggregates(t *testing.T) {
+	a := []int64{3, 1, 4, 1, 5}
+	if s := SumDirect(a, nil, 5); s != 14 {
+		t.Fatalf("sum: %d", s)
+	}
+	if s := SumDirect(a, []int32{0, 2}, 5); s != 7 {
+		t.Fatalf("sum sel: %d", s)
+	}
+	if c := CountDirect(nil, 5); c != 5 {
+		t.Fatalf("count: %d", c)
+	}
+	if c := CountDirect([]int32{1, 2}, 5); c != 2 {
+		t.Fatalf("count sel: %d", c)
+	}
+	if m, ok := MinDirect(a, nil, 5); !ok || m != 1 {
+		t.Fatalf("min: %d %v", m, ok)
+	}
+	if m, ok := MaxDirect(a, nil, 5); !ok || m != 5 {
+		t.Fatalf("max: %d %v", m, ok)
+	}
+	if _, ok := MinDirect(a, []int32{}, 5); ok {
+		t.Fatal("empty min should report not-found")
+	}
+	if m, ok := MaxDirect([]string{"b", "a", "c"}, nil, 3); !ok || m != "c" {
+		t.Fatalf("string max: %q", m)
+	}
+}
+
+func TestGroupedAggregates(t *testing.T) {
+	vals := []int64{10, 20, 30, 40}
+	groups := []int32{0, 1, 0, 1}
+	sum := make([]int64, 2)
+	SumGrouped(sum, groups, vals, nil, 4)
+	if sum[0] != 40 || sum[1] != 60 {
+		t.Fatalf("sum grouped: %v", sum)
+	}
+	cnt := make([]int64, 2)
+	CountGrouped(cnt, groups, nil, 4)
+	if cnt[0] != 2 || cnt[1] != 2 {
+		t.Fatalf("count grouped: %v", cnt)
+	}
+	mn := make([]int64, 2)
+	seen := make([]bool, 2)
+	MinGrouped(mn, seen, groups, vals, nil, 4)
+	if mn[0] != 10 || mn[1] != 20 {
+		t.Fatalf("min grouped: %v", mn)
+	}
+	mx := make([]int64, 2)
+	seen2 := make([]bool, 2)
+	MaxGrouped(mx, seen2, groups, vals, nil, 4)
+	if mx[0] != 30 || mx[1] != 40 {
+		t.Fatalf("max grouped: %v", mx)
+	}
+}
+
+func TestGroupedWithSelection(t *testing.T) {
+	vals := []int64{10, 20, 30, 40}
+	sel := []int32{1, 3}    // logical rows are vals[1], vals[3]
+	groups := []int32{0, 0} // parallel to sel
+	sum := make([]int64, 1)
+	SumGrouped(sum, groups, vals, sel, 4)
+	if sum[0] != 60 {
+		t.Fatalf("sum grouped sel: %v", sum)
+	}
+	cnt := make([]int64, 1)
+	CountGrouped(cnt, groups, sel, 4)
+	if cnt[0] != 2 {
+		t.Fatalf("count grouped sel: %v", cnt)
+	}
+}
+
+// Property: grouped sum over a single group equals direct sum.
+func TestGroupedEqualsDirectProperty(t *testing.T) {
+	f := func(vals []int64) bool {
+		n := len(vals)
+		groups := make([]int32, n)
+		acc := make([]int64, 1)
+		SumGrouped(acc, groups, vals, nil, n)
+		return acc[0] == SumDirect(vals, nil, n)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNullAwareVariants(t *testing.T) {
+	a := []float64{1, 2, 3, 4}
+	aN := []bool{false, true, false, false}
+	b := []float64{10, 10, 10, 10}
+	bN := []bool{false, false, true, false}
+	dst := make([]float64, 4)
+	dstN := make([]bool, 4)
+	NullAwareAddVV(dst, dstN, a, aN, b, bN, nil)
+	if dst[0] != 11 || !dstN[1] || !dstN[2] || dst[3] != 14 || dstN[0] || dstN[3] {
+		t.Fatalf("nullaware add: %v %v", dst, dstN)
+	}
+	NullAwareMulVV(dst, dstN, a, aN, b, bN, nil)
+	if dst[0] != 10 || !dstN[1] || dst[3] != 40 {
+		t.Fatalf("nullaware mul: %v %v", dst, dstN)
+	}
+	sel := NullAwareSelGtVC(nil, a, aN, 1.5, nil, 4)
+	if len(sel) != 2 || sel[0] != 2 || sel[1] != 3 {
+		t.Fatalf("nullaware sel: %v", sel)
+	}
+	s, c := NullAwareSumDirect(a, aN, nil, 4)
+	if s != 8 || c != 3 {
+		t.Fatalf("nullaware sum: %v %v", s, c)
+	}
+	// Decomposed path: value column holds safe zeros at NULL slots.
+	av := []float64{1, 0, 3, 4}
+	s2, c2 := DecomposedSumDirect(av, aN, nil, 4)
+	if s2 != 8 || c2 != 3 {
+		t.Fatalf("decomposed sum: %v %v", s2, c2)
+	}
+	if n := CountTrue(aN, []int32{0, 1}, 4); n != 1 {
+		t.Fatalf("count true sel: %d", n)
+	}
+}
+
+func TestHashBasics(t *testing.T) {
+	a := []int64{1, 2, 1}
+	h := make([]uint64, 3)
+	HashInt(h, a, nil, 3)
+	if h[0] != h[2] || h[0] == h[1] {
+		t.Fatalf("int hash: %v", h)
+	}
+	s := []string{"x", "y", "x"}
+	hs := make([]uint64, 3)
+	HashString(hs, s, nil, 3)
+	if hs[0] != hs[2] || hs[0] == hs[1] {
+		t.Fatalf("str hash: %v", hs)
+	}
+	// Combining a second column separates (1,"x") from (1,"y").
+	h2 := make([]uint64, 3)
+	HashInt(h2, []int64{1, 1, 1}, nil, 3)
+	RehashString(h2, s, nil, 3)
+	if h2[0] == h2[1] || h2[0] != h2[2] {
+		t.Fatalf("rehash: %v", h2)
+	}
+	f := []float64{0.0, 1.5, -0.0}
+	hf := make([]uint64, 3)
+	HashFloat(hf, f, nil, 3)
+	if hf[0] != hf[2] {
+		t.Fatal("-0.0 and 0.0 must hash equal")
+	}
+	b := []bool{true, false}
+	hb := make([]uint64, 2)
+	HashBool(hb, b, nil, 2)
+	if hb[0] == hb[1] {
+		t.Fatal("bool hash collision")
+	}
+	BucketMask(hf, 4, 3)
+	for _, v := range hf {
+		if v >= 16 {
+			t.Fatal("bucket mask")
+		}
+	}
+}
+
+func TestHashWithSelection(t *testing.T) {
+	a := []int32{7, 8, 9}
+	dst := make([]uint64, 2)
+	HashInt(dst, a, []int32{0, 2}, 3)
+	full := make([]uint64, 3)
+	HashInt(full, a, nil, 3)
+	if dst[0] != full[0] || dst[1] != full[2] {
+		t.Fatal("hash sel packs into dense positions")
+	}
+	RehashInt(dst, []int32{1, 1, 1}, []int32{0, 2}, 3)
+	// Deterministic: recombining same inputs yields same outputs.
+	dst2 := make([]uint64, 2)
+	HashInt(dst2, a, []int32{0, 2}, 3)
+	RehashInt(dst2, []int32{1, 1, 1}, []int32{0, 2}, 3)
+	if dst[0] != dst2[0] || dst[1] != dst2[1] {
+		t.Fatal("rehash not deterministic")
+	}
+}
+
+func TestDatePrimitives(t *testing.T) {
+	// 2020-02-29 and 1999-12-31.
+	d1 := int32(18321)
+	d2 := int32(10956)
+	a := []int32{d1, d2}
+	y := make([]int32, 2)
+	DateYearV(y, a, nil)
+	if y[0] != 2020 || y[1] != 1999 {
+		t.Fatalf("year: %v", y)
+	}
+	m := make([]int32, 2)
+	DateMonthV(m, a, nil)
+	if m[0] != 2 || m[1] != 12 {
+		t.Fatalf("month: %v", m)
+	}
+	d := make([]int32, 2)
+	DateDayV(d, a, nil)
+	if d[0] != 29 || d[1] != 31 {
+		t.Fatalf("day: %v", d)
+	}
+	q := make([]int32, 2)
+	DateQuarterV(q, a, nil)
+	if q[0] != 1 || q[1] != 4 {
+		t.Fatalf("quarter: %v", q)
+	}
+	dow := make([]int32, 2)
+	DateDowV(dow, a, nil)
+	if dow[0] != 6 { // 2020-02-29 was a Saturday
+		t.Fatalf("dow: %v", dow)
+	}
+	add := make([]int32, 2)
+	DateAddDaysVC(add, a, 1, nil)
+	if add[0] != d1+1 {
+		t.Fatal("add days")
+	}
+	DateAddMonthsVC(add, a, 12, nil)
+	ym := make([]int32, 2)
+	DateYearV(ym, add, nil)
+	if ym[0] != 2021 {
+		t.Fatalf("add months year: %v", ym)
+	}
+	diff := make([]int64, 2)
+	DateDiffVV(diff, a, []int32{d2, d2}, nil)
+	if diff[0] != int64(d1-d2) || diff[1] != 0 {
+		t.Fatalf("diff: %v", diff)
+	}
+}
+
+func TestMathPrimitives(t *testing.T) {
+	a := []float64{4, 9}
+	dst := make([]float64, 2)
+	SqrtV(dst, a, nil)
+	if dst[0] != 2 || dst[1] != 3 {
+		t.Fatal("sqrt")
+	}
+	FloorV(dst, []float64{1.7, -1.2}, nil)
+	if dst[0] != 1 || dst[1] != -2 {
+		t.Fatal("floor")
+	}
+	CeilV(dst, []float64{1.2, -1.7}, nil)
+	if dst[0] != 2 || dst[1] != -1 {
+		t.Fatal("ceil")
+	}
+	RoundV(dst, []float64{1.256, 2.344}, 2, nil)
+	if dst[0] != 1.26 || dst[1] != 2.34 {
+		t.Fatalf("round: %v", dst)
+	}
+	PowVC(dst, []float64{2, 3}, 2, nil)
+	if dst[0] != 4 || dst[1] != 9 {
+		t.Fatal("pow")
+	}
+	LnV(dst, []float64{1, 1}, nil)
+	if dst[0] != 0 {
+		t.Fatal("ln")
+	}
+	ExpV(dst, []float64{0, 0}, nil)
+	if dst[0] != 1 {
+		t.Fatal("exp")
+	}
+	si := make([]int64, 3)
+	SignV(si, []int64{-5, 0, 9}, nil)
+	if si[0] != -1 || si[1] != 0 || si[2] != 1 {
+		t.Fatal("sign")
+	}
+}

@@ -1,0 +1,399 @@
+package primitives
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Checked arithmetic: the paper's "Error handling and reporting" section
+// explains that X100 originally assumed queries never fail, and that adding
+// detection of division by zero, overflow etc. naively "would incur a
+// significant overhead, and special algorithms in the kernel had to be
+// devised".
+//
+// The special algorithm used here is *flag accumulation*: the loop computes
+// wrapped results unconditionally and OR-accumulates an overflow indicator
+// without branching on it, then a single test after the loop decides whether
+// to rescan for the exact failing position. The common (error-free) path
+// therefore costs one extra OR-and-compare per element and no branches; the
+// error path pays a second scan but only when the query is failing anyway.
+//
+// The naive contrast variants (NaiveChecked*) check and construct error
+// state per element through a function pointer — the straightforward
+// implementation the paper warns about. Experiment E8 measures all three.
+
+// ErrOverflow reports integer overflow in checked arithmetic.
+var ErrOverflow = errors.New("arithmetic overflow")
+
+// ErrDivByZero reports division by zero.
+var ErrDivByZero = errors.New("division by zero")
+
+// PosError decorates an arithmetic error with the failing vector position so
+// the engine can report the offending row.
+type PosError struct {
+	Err error
+	Pos int
+}
+
+// Error implements error.
+func (e *PosError) Error() string { return fmt.Sprintf("%v at row offset %d", e.Err, e.Pos) }
+
+// Unwrap exposes the underlying cause.
+func (e *PosError) Unwrap() error { return e.Err }
+
+// CheckedAddVV computes dst = a + b detecting signed overflow. Returns nil
+// on success or a *PosError identifying the first failing position.
+func CheckedAddVV[T Integer](dst, a, b []T, sel []int32) error {
+	var flags T
+	if sel == nil {
+		a = a[:len(dst)]
+		b = b[:len(dst)]
+		for i := range dst {
+			s := a[i] + b[i]
+			// Overflow iff operands share a sign that differs from the
+			// result's: (a^s)&(b^s) has the sign bit set.
+			flags |= (a[i] ^ s) & (b[i] ^ s)
+			dst[i] = s
+		}
+	} else {
+		for _, i := range sel {
+			s := a[i] + b[i]
+			flags |= (a[i] ^ s) & (b[i] ^ s)
+			dst[i] = s
+		}
+	}
+	if flags >= 0 {
+		return nil
+	}
+	// Error path: rescan to locate the first overflow.
+	if sel == nil {
+		for i := range dst {
+			if s := a[i] + b[i]; (a[i]^s)&(b[i]^s) < 0 {
+				return &PosError{Err: ErrOverflow, Pos: i}
+			}
+		}
+	} else {
+		for k, i := range sel {
+			if s := a[i] + b[i]; (a[i]^s)&(b[i]^s) < 0 {
+				return &PosError{Err: ErrOverflow, Pos: k}
+			}
+		}
+	}
+	return &PosError{Err: ErrOverflow, Pos: -1}
+}
+
+// CheckedSubVV computes dst = a - b detecting signed overflow.
+func CheckedSubVV[T Integer](dst, a, b []T, sel []int32) error {
+	var flags T
+	if sel == nil {
+		a = a[:len(dst)]
+		b = b[:len(dst)]
+		for i := range dst {
+			s := a[i] - b[i]
+			// Overflow iff a and b differ in sign and s's sign differs
+			// from a's.
+			flags |= (a[i] ^ b[i]) & (a[i] ^ s)
+			dst[i] = s
+		}
+	} else {
+		for _, i := range sel {
+			s := a[i] - b[i]
+			flags |= (a[i] ^ b[i]) & (a[i] ^ s)
+			dst[i] = s
+		}
+	}
+	if flags >= 0 {
+		return nil
+	}
+	if sel == nil {
+		for i := range dst {
+			if s := a[i] - b[i]; (a[i]^b[i])&(a[i]^s) < 0 {
+				return &PosError{Err: ErrOverflow, Pos: i}
+			}
+		}
+	} else {
+		for k, i := range sel {
+			if s := a[i] - b[i]; (a[i]^b[i])&(a[i]^s) < 0 {
+				return &PosError{Err: ErrOverflow, Pos: k}
+			}
+		}
+	}
+	return &PosError{Err: ErrOverflow, Pos: -1}
+}
+
+// CheckedMulVVI64 computes dst = a * b for int64 detecting overflow. The
+// branch-light check divides the result back: overflow iff a != 0 and
+// s/a != b (with the MinInt64 * -1 corner handled by the same test).
+func CheckedMulVVI64(dst, a, b []int64, sel []int32) error {
+	bad := false
+	if sel == nil {
+		a = a[:len(dst)]
+		b = b[:len(dst)]
+		for i := range dst {
+			s := a[i] * b[i]
+			bad = bad || (a[i] != 0 && (s/a[i] != b[i] || (a[i] == -1 && b[i] == math.MinInt64)))
+			dst[i] = s
+		}
+	} else {
+		for _, i := range sel {
+			s := a[i] * b[i]
+			bad = bad || (a[i] != 0 && (s/a[i] != b[i] || (a[i] == -1 && b[i] == math.MinInt64)))
+			dst[i] = s
+		}
+	}
+	if !bad {
+		return nil
+	}
+	locate := func(i int, k int) error {
+		s := a[i] * b[i]
+		if a[i] != 0 && (s/a[i] != b[i] || (a[i] == -1 && b[i] == math.MinInt64)) {
+			return &PosError{Err: ErrOverflow, Pos: k}
+		}
+		return nil
+	}
+	if sel == nil {
+		for i := range dst {
+			if err := locate(i, i); err != nil {
+				return err
+			}
+		}
+	} else {
+		for k, i := range sel {
+			if err := locate(int(i), k); err != nil {
+				return err
+			}
+		}
+	}
+	return &PosError{Err: ErrOverflow, Pos: -1}
+}
+
+// CheckedMulVVI32 computes dst = a * b for int32 detecting overflow by
+// widening to 64-bit — the cheap width-promotion trick available to narrow
+// types.
+func CheckedMulVVI32(dst, a, b []int32, sel []int32) error {
+	var flags int64
+	if sel == nil {
+		a = a[:len(dst)]
+		b = b[:len(dst)]
+		for i := range dst {
+			w := int64(a[i]) * int64(b[i])
+			flags |= w - int64(int32(w)) // non-zero iff truncation loses bits
+			dst[i] = int32(w)
+		}
+	} else {
+		for _, i := range sel {
+			w := int64(a[i]) * int64(b[i])
+			flags |= w - int64(int32(w))
+			dst[i] = int32(w)
+		}
+	}
+	if flags == 0 {
+		return nil
+	}
+	if sel == nil {
+		for i := range dst {
+			if w := int64(a[i]) * int64(b[i]); w != int64(int32(w)) {
+				return &PosError{Err: ErrOverflow, Pos: i}
+			}
+		}
+	} else {
+		for k, i := range sel {
+			if w := int64(a[i]) * int64(b[i]); w != int64(int32(w)) {
+				return &PosError{Err: ErrOverflow, Pos: k}
+			}
+		}
+	}
+	return &PosError{Err: ErrOverflow, Pos: -1}
+}
+
+// CheckedDivVV computes dst = a / b for integers, detecting zero divisors
+// (and the MinInt / -1 overflow). The scan for zero divisors is a separate
+// vectorized pass so the division loop itself stays branch-free.
+func CheckedDivVV[T Integer](dst, a, b []T, sel []int32) error {
+	var prod T = 1
+	if sel == nil {
+		b2 := b[:len(dst)]
+		for i := range b2 {
+			prod *= boolToNum[T](b2[i] != 0)
+		}
+	} else {
+		for _, i := range sel {
+			prod *= boolToNum[T](b[i] != 0)
+		}
+	}
+	if prod == 0 {
+		if sel == nil {
+			for i := range dst {
+				if b[i] == 0 {
+					return &PosError{Err: ErrDivByZero, Pos: i}
+				}
+			}
+		} else {
+			for k, i := range sel {
+				if b[i] == 0 {
+					return &PosError{Err: ErrDivByZero, Pos: k}
+				}
+			}
+		}
+	}
+	// All divisors are non-zero; MinInt / -1 wraps in Go (no trap), matching
+	// the engine's two's-complement semantics, so a plain loop suffices.
+	if sel == nil {
+		a2 := a[:len(dst)]
+		b2 := b[:len(dst)]
+		for i := range dst {
+			dst[i] = a2[i] / b2[i]
+		}
+	} else {
+		for _, i := range sel {
+			dst[i] = a[i] / b[i]
+		}
+	}
+	return nil
+}
+
+func boolToNum[T Integer](b bool) T {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// CheckedDivVCF computes dst = a / c for floats with a constant divisor,
+// returning ErrDivByZero when c == 0 (SQL semantics, not IEEE Inf).
+func CheckedDivVCF(dst, a []float64, c float64, sel []int32) error {
+	if c == 0 {
+		return &PosError{Err: ErrDivByZero, Pos: 0}
+	}
+	MulVC(dst, a, 1/c, sel)
+	return nil
+}
+
+// CheckedDivVVF computes dst = a / b for floats with SQL division-by-zero
+// detection using a multiplicative zero test over divisors (no branch per
+// element on the happy path; a product collapses to zero iff any divisor is
+// zero or denormal-underflows, which the rescan disambiguates).
+func CheckedDivVVF(dst, a, b []float64, sel []int32) error {
+	anyZero := false
+	if sel == nil {
+		b2 := b[:len(dst)]
+		for i := range b2 {
+			anyZero = anyZero || b2[i] == 0
+		}
+	} else {
+		for _, i := range sel {
+			anyZero = anyZero || b[i] == 0
+		}
+	}
+	if anyZero {
+		if sel == nil {
+			for i := range dst {
+				if b[i] == 0 {
+					return &PosError{Err: ErrDivByZero, Pos: i}
+				}
+			}
+		} else {
+			for k, i := range sel {
+				if b[i] == 0 {
+					return &PosError{Err: ErrDivByZero, Pos: k}
+				}
+			}
+		}
+	}
+	DivVVF(dst, a, b, sel)
+	return nil
+}
+
+// CheckedModVV computes dst = a % b detecting zero divisors.
+func CheckedModVV[T Integer](dst, a, b []T, sel []int32) error {
+	anyZero := false
+	if sel == nil {
+		b2 := b[:len(dst)]
+		for i := range b2 {
+			anyZero = anyZero || b2[i] == 0
+		}
+		if anyZero {
+			for i := range dst {
+				if b[i] == 0 {
+					return &PosError{Err: ErrDivByZero, Pos: i}
+				}
+			}
+		}
+		ModVV(dst, a, b, nil)
+		return nil
+	}
+	for _, i := range sel {
+		anyZero = anyZero || b[i] == 0
+	}
+	if anyZero {
+		for k, i := range sel {
+			if b[i] == 0 {
+				return &PosError{Err: ErrDivByZero, Pos: k}
+			}
+		}
+	}
+	ModVV(dst, a, b, sel)
+	return nil
+}
+
+// Naive per-value checked variants — the "straightforward implementation"
+// baseline for experiment E8. checkFn is called per element through a
+// function value, modelling the per-value error-checking plumbing (bounds
+// validation, errno-style reporting) a non-vectorized engine pays.
+
+// NaiveCheckFn validates one pair of operands; returns an error to abort.
+type NaiveCheckFn[T Integer] func(a, b T) error
+
+// NaiveCheckedAddVV is the per-element checked addition.
+func NaiveCheckedAddVV[T Integer](dst, a, b []T, sel []int32, check NaiveCheckFn[T]) error {
+	if sel == nil {
+		a = a[:len(dst)]
+		b = b[:len(dst)]
+		for i := range dst {
+			if err := check(a[i], b[i]); err != nil {
+				return &PosError{Err: err, Pos: i}
+			}
+			dst[i] = a[i] + b[i]
+		}
+		return nil
+	}
+	for k, i := range sel {
+		if err := check(a[i], b[i]); err != nil {
+			return &PosError{Err: err, Pos: k}
+		}
+		dst[i] = a[i] + b[i]
+	}
+	return nil
+}
+
+// NaiveAddOverflowCheck is the standard per-pair overflow test.
+func NaiveAddOverflowCheck[T Integer](a, b T) error {
+	s := a + b
+	if (a^s)&(b^s) < 0 {
+		return ErrOverflow
+	}
+	return nil
+}
+
+// NaiveCheckedDivVV divides with a per-element zero test and error wrap.
+func NaiveCheckedDivVV[T Integer](dst, a, b []T, sel []int32) error {
+	if sel == nil {
+		a = a[:len(dst)]
+		b = b[:len(dst)]
+		for i := range dst {
+			if b[i] == 0 {
+				return &PosError{Err: ErrDivByZero, Pos: i}
+			}
+			dst[i] = a[i] / b[i]
+		}
+		return nil
+	}
+	for k, i := range sel {
+		if b[i] == 0 {
+			return &PosError{Err: ErrDivByZero, Pos: k}
+		}
+		dst[i] = a[i] / b[i]
+	}
+	return nil
+}

@@ -1,0 +1,208 @@
+package primitives
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAddVV(t *testing.T) {
+	a := []int64{1, 2, 3, 4}
+	b := []int64{10, 20, 30, 40}
+	dst := make([]int64, 4)
+	AddVV(dst, a, b, nil)
+	for i := range dst {
+		if dst[i] != a[i]+b[i] {
+			t.Fatalf("dst[%d] = %d", i, dst[i])
+		}
+	}
+	// Selected variant leaves unselected slots alone.
+	dst2 := make([]int64, 4)
+	AddVV(dst2, a, b, []int32{1, 3})
+	if dst2[0] != 0 || dst2[1] != 22 || dst2[2] != 0 || dst2[3] != 44 {
+		t.Fatalf("sel add: %v", dst2)
+	}
+}
+
+func TestMapVCShapes(t *testing.T) {
+	a := []float64{1, 2, 3}
+	dst := make([]float64, 3)
+	AddVC(dst, a, 0.5, nil)
+	if dst[2] != 3.5 {
+		t.Fatal("AddVC")
+	}
+	SubVC(dst, a, 1, nil)
+	if dst[0] != 0 {
+		t.Fatal("SubVC")
+	}
+	SubCV(dst, 10, a, nil)
+	if dst[2] != 7 {
+		t.Fatal("SubCV")
+	}
+	MulVC(dst, a, 2, nil)
+	if dst[1] != 4 {
+		t.Fatal("MulVC")
+	}
+	DivVCF(dst, a, 2, nil)
+	if dst[1] != 1 {
+		t.Fatal("DivVCF")
+	}
+}
+
+func TestSubMulDiv(t *testing.T) {
+	a := []int32{10, 20, 30}
+	b := []int32{1, 2, 3}
+	dst := make([]int32, 3)
+	SubVV(dst, a, b, nil)
+	if dst[2] != 27 {
+		t.Fatal("SubVV")
+	}
+	MulVV(dst, a, b, nil)
+	if dst[1] != 40 {
+		t.Fatal("MulVV")
+	}
+	f := []float64{6, 9}
+	g := []float64{2, 3}
+	fd := make([]float64, 2)
+	DivVVF(fd, f, g, nil)
+	if fd[0] != 3 || fd[1] != 3 {
+		t.Fatal("DivVVF")
+	}
+}
+
+func TestNegAbsMinMax(t *testing.T) {
+	a := []int64{-3, 5, 0}
+	dst := make([]int64, 3)
+	NegV(dst, a, nil)
+	if dst[0] != 3 || dst[1] != -5 {
+		t.Fatal("NegV")
+	}
+	AbsV(dst, a, nil)
+	if dst[0] != 3 || dst[1] != 5 || dst[2] != 0 {
+		t.Fatal("AbsV")
+	}
+	b := []int64{1, 9, -2}
+	MinVV(dst, a, b, nil)
+	if dst[0] != -3 || dst[1] != 5 || dst[2] != -2 {
+		t.Fatal("MinVV")
+	}
+	MaxVV(dst, a, b, nil)
+	if dst[0] != 1 || dst[1] != 9 || dst[2] != 0 {
+		t.Fatal("MaxVV")
+	}
+}
+
+func TestCmpAndLogical(t *testing.T) {
+	a := []int64{1, 5, 5}
+	b := []int64{5, 5, 1}
+	eq := make([]bool, 3)
+	CmpEqVV(eq, a, b, nil)
+	if eq[0] || !eq[1] || eq[2] {
+		t.Fatal("CmpEqVV")
+	}
+	lt := make([]bool, 3)
+	CmpLtVV(lt, a, b, nil)
+	if !lt[0] || lt[1] || lt[2] {
+		t.Fatal("CmpLtVV")
+	}
+	ltc := make([]bool, 3)
+	CmpLtVC(ltc, a, int64(5), nil)
+	if !ltc[0] || ltc[1] {
+		t.Fatal("CmpLtVC")
+	}
+	lec := make([]bool, 3)
+	CmpLeVC(lec, a, int64(5), nil)
+	if !lec[1] {
+		t.Fatal("CmpLeVC")
+	}
+	eqc := make([]bool, 3)
+	CmpEqVC(eqc, a, int64(5), nil)
+	if eqc[0] || !eqc[1] {
+		t.Fatal("CmpEqVC")
+	}
+	and := make([]bool, 3)
+	AndBool(and, eq, lt, nil)
+	if and[0] || and[1] || and[2] {
+		t.Fatal("AndBool")
+	}
+	or := make([]bool, 3)
+	OrBool(or, eq, lt, nil)
+	if !or[0] || !or[1] || or[2] {
+		t.Fatal("OrBool")
+	}
+	not := make([]bool, 3)
+	NotBool(not, eq, nil)
+	if !not[0] || not[1] {
+		t.Fatal("NotBool")
+	}
+}
+
+func TestCastAndIfThenElse(t *testing.T) {
+	a := []int32{1, 2, 3}
+	f := make([]float64, 3)
+	CastNum(f, a, nil)
+	if f[2] != 3.0 {
+		t.Fatal("CastNum widen")
+	}
+	back := make([]int64, 3)
+	CastNum(back, f, nil)
+	if back[1] != 2 {
+		t.Fatal("CastNum narrow")
+	}
+	cond := []bool{true, false, true}
+	x := []int64{1, 2, 3}
+	y := []int64{10, 20, 30}
+	out := make([]int64, 3)
+	IfThenElse(out, cond, x, y, nil)
+	if out[0] != 1 || out[1] != 20 || out[2] != 3 {
+		t.Fatal("IfThenElse")
+	}
+	IfThenElse(out, cond, x, y, []int32{1})
+	if out[1] != 20 {
+		t.Fatal("IfThenElse sel")
+	}
+}
+
+func TestMod(t *testing.T) {
+	a := []int64{10, 11, 12}
+	b := []int64{3, 3, 5}
+	dst := make([]int64, 3)
+	ModVV(dst, a, b, nil)
+	if dst[0] != 1 || dst[1] != 2 || dst[2] != 2 {
+		t.Fatal("ModVV")
+	}
+	ModVC(dst, a, 4, nil)
+	if dst[0] != 2 || dst[2] != 0 {
+		t.Fatal("ModVC")
+	}
+}
+
+// Property: AddVV with identity selection equals AddVV with nil selection.
+func TestSelEquivalenceProperty(t *testing.T) {
+	f := func(a, b []int64) bool {
+		n := len(a)
+		if len(b) < n {
+			n = len(b)
+		}
+		if n == 0 {
+			return true
+		}
+		a, b = a[:n], b[:n]
+		d1 := make([]int64, n)
+		d2 := make([]int64, n)
+		sel := make([]int32, n)
+		for i := range sel {
+			sel[i] = int32(i)
+		}
+		AddVV(d1, a, b, nil)
+		AddVV(d2, a, b, sel)
+		for i := range d1 {
+			if d1[i] != d2[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

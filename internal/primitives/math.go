@@ -1,0 +1,129 @@
+package primitives
+
+import "math"
+
+// Math function primitives over float vectors.
+
+// SqrtV computes dst = sqrt(a).
+func SqrtV(dst, a []float64, sel []int32) {
+	if sel == nil {
+		a = a[:len(dst)]
+		for i := range dst {
+			dst[i] = math.Sqrt(a[i])
+		}
+		return
+	}
+	for _, i := range sel {
+		dst[i] = math.Sqrt(a[i])
+	}
+}
+
+// FloorV computes dst = floor(a).
+func FloorV(dst, a []float64, sel []int32) {
+	if sel == nil {
+		a = a[:len(dst)]
+		for i := range dst {
+			dst[i] = math.Floor(a[i])
+		}
+		return
+	}
+	for _, i := range sel {
+		dst[i] = math.Floor(a[i])
+	}
+}
+
+// CeilV computes dst = ceil(a).
+func CeilV(dst, a []float64, sel []int32) {
+	if sel == nil {
+		a = a[:len(dst)]
+		for i := range dst {
+			dst[i] = math.Ceil(a[i])
+		}
+		return
+	}
+	for _, i := range sel {
+		dst[i] = math.Ceil(a[i])
+	}
+}
+
+// RoundV computes dst = round-half-away-from-zero(a, digits).
+func RoundV(dst, a []float64, digits int64, sel []int32) {
+	scale := math.Pow(10, float64(digits))
+	f := func(x float64) float64 { return math.Round(x*scale) / scale }
+	if sel == nil {
+		a = a[:len(dst)]
+		for i := range dst {
+			dst[i] = f(a[i])
+		}
+		return
+	}
+	for _, i := range sel {
+		dst[i] = f(a[i])
+	}
+}
+
+// PowVC computes dst = a ^ c.
+func PowVC(dst, a []float64, c float64, sel []int32) {
+	if sel == nil {
+		a = a[:len(dst)]
+		for i := range dst {
+			dst[i] = math.Pow(a[i], c)
+		}
+		return
+	}
+	for _, i := range sel {
+		dst[i] = math.Pow(a[i], c)
+	}
+}
+
+// LnV computes dst = ln(a).
+func LnV(dst, a []float64, sel []int32) {
+	if sel == nil {
+		a = a[:len(dst)]
+		for i := range dst {
+			dst[i] = math.Log(a[i])
+		}
+		return
+	}
+	for _, i := range sel {
+		dst[i] = math.Log(a[i])
+	}
+}
+
+// ExpV computes dst = e^a.
+func ExpV(dst, a []float64, sel []int32) {
+	if sel == nil {
+		a = a[:len(dst)]
+		for i := range dst {
+			dst[i] = math.Exp(a[i])
+		}
+		return
+	}
+	for _, i := range sel {
+		dst[i] = math.Exp(a[i])
+	}
+}
+
+// SignV computes dst = sign(a) as -1, 0, +1.
+func SignV[T Num](dst []T, a []T, sel []int32) {
+	f := func(x T) T {
+		switch {
+		case x > 0:
+			return 1
+		case x < 0:
+			return -1
+		default:
+			return 0
+		}
+	}
+	if sel == nil {
+		a = a[:len(dst)]
+		for i := range dst {
+			dst[i] = f(a[i])
+		}
+		return
+	}
+	for _, i := range sel {
+		dst[i] = f(a[i])
+	}
+}

@@ -1,0 +1,151 @@
+package primitives
+
+// NULL handling contrast (experiment E7). Vectorwise's production choice —
+// the paper's "NULLs" bullet — is to keep every primitive NULL-oblivious and
+// represent a NULLable column as *two* plain columns: a value column holding
+// a safe in-band value at NULL positions, plus a boolean null-indicator
+// column. An expression over nullable inputs is rewritten into (a) the plain
+// primitive over the value columns and (b) an OR over the indicator columns.
+// Both parts are branch-free tight loops (AddVV + OrBool in this package).
+//
+// The functions in this file implement the road *not* taken: NULL-aware
+// primitives that branch per element on the indicators. Each nullable
+// operator variant must exist for every primitive (a combinatorial
+// explosion X100 avoided), and the data-dependent branches defeat
+// pipelining. E7 measures both approaches.
+
+// NullAwareAddVV computes dst = a + b with per-element NULL propagation.
+func NullAwareAddVV[T Num](dst []T, dstNull []bool, a []T, aNull []bool, b []T, bNull []bool, sel []int32) {
+	if sel == nil {
+		a = a[:len(dst)]
+		b = b[:len(dst)]
+		for i := range dst {
+			if aNull[i] || bNull[i] {
+				dstNull[i] = true
+				dst[i] = 0
+			} else {
+				dstNull[i] = false
+				dst[i] = a[i] + b[i]
+			}
+		}
+		return
+	}
+	for _, i := range sel {
+		if aNull[i] || bNull[i] {
+			dstNull[i] = true
+			dst[i] = 0
+		} else {
+			dstNull[i] = false
+			dst[i] = a[i] + b[i]
+		}
+	}
+}
+
+// NullAwareMulVV computes dst = a * b with per-element NULL propagation.
+func NullAwareMulVV[T Num](dst []T, dstNull []bool, a []T, aNull []bool, b []T, bNull []bool, sel []int32) {
+	if sel == nil {
+		a = a[:len(dst)]
+		b = b[:len(dst)]
+		for i := range dst {
+			if aNull[i] || bNull[i] {
+				dstNull[i] = true
+				dst[i] = 0
+			} else {
+				dstNull[i] = false
+				dst[i] = a[i] * b[i]
+			}
+		}
+		return
+	}
+	for _, i := range sel {
+		if aNull[i] || bNull[i] {
+			dstNull[i] = true
+			dst[i] = 0
+		} else {
+			dstNull[i] = false
+			dst[i] = a[i] * b[i]
+		}
+	}
+}
+
+// NullAwareSelGtVC selects rows where a > c AND a IS NOT NULL, branching on
+// the indicator per element.
+func NullAwareSelGtVC[T Ordered](dst []int32, a []T, aNull []bool, c T, sel []int32, n int) []int32 {
+	dst = dst[:0]
+	if sel == nil {
+		for i := 0; i < n; i++ {
+			if !aNull[i] && a[i] > c {
+				dst = append(dst, int32(i))
+			}
+		}
+		return dst
+	}
+	for _, i := range sel {
+		if !aNull[i] && a[i] > c {
+			dst = append(dst, i)
+		}
+	}
+	return dst
+}
+
+// NullAwareSumDirect sums non-NULL selected values (branchy SQL SUM).
+func NullAwareSumDirect[T Num](a []T, aNull []bool, sel []int32, n int) (T, int64) {
+	var s T
+	var cnt int64
+	if sel == nil {
+		for i := 0; i < n; i++ {
+			if !aNull[i] {
+				s += a[i]
+				cnt++
+			}
+		}
+		return s, cnt
+	}
+	for _, i := range sel {
+		if !aNull[i] {
+			s += a[i]
+			cnt++
+		}
+	}
+	return s, cnt
+}
+
+// Decomposed counterparts used by the rewriter-generated plans: these are
+// thin named compositions so E7 can benchmark the exact production path.
+
+// DecomposedSumDirect sums a nullable column represented as (values,
+// indicator) by first zeroing NULL slots arithmetically: sum += v * (1 -
+// ind). Because NULL slots already hold the safe value 0 on storage-loaded
+// columns, the multiply is skipped and this degenerates to plain SumDirect
+// plus a NOT-NULL count.
+func DecomposedSumDirect[T Num](a []T, ind []bool, sel []int32, n int) (T, int64) {
+	s := SumDirect(a, sel, n)
+	nulls := CountTrue(ind, sel, n)
+	var total int64
+	if sel == nil {
+		total = int64(n)
+	} else {
+		total = int64(len(sel))
+	}
+	return s, total - nulls
+}
+
+// CountTrue counts set positions of a bool vector under selection; used for
+// null-indicator statistics and for COUNT(col) over decomposed columns.
+func CountTrue(a []bool, sel []int32, n int) int64 {
+	var c int64
+	if sel == nil {
+		for i := 0; i < n; i++ {
+			if a[i] {
+				c++
+			}
+		}
+		return c
+	}
+	for _, i := range sel {
+		if a[i] {
+			c++
+		}
+	}
+	return c
+}

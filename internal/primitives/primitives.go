@@ -1,0 +1,34 @@
+// Package primitives is the vectorized primitive library of the X100-style
+// kernel: tight loops over typed slices, optionally driven by a selection
+// vector, with no per-value interpretation, allocation or boxing.
+//
+// The package provides several variants of the arithmetic primitives that
+// exist to reproduce specific claims of the paper:
+//
+//   - unchecked map primitives (the fast path),
+//   - vectorized *checked* primitives that detect division-by-zero and
+//     integer overflow with branch-light flag accumulation (the "special
+//     algorithms in the kernel" the paper says had to be devised),
+//   - deliberately naive per-value checked primitives used only by
+//     experiment E8 to show what the paper calls "significant overhead" of
+//     a straightforward implementation,
+//   - branchy NULL-aware primitives used only by experiment E7 to contrast
+//     with Vectorwise's two-column NULL decomposition.
+package primitives
+
+// Num constrains the numeric element types the kernel supports.
+type Num interface {
+	~int32 | ~int64 | ~float64
+}
+
+// Ordered constrains element types with a total order (comparisons,
+// min/max, sort keys).
+type Ordered interface {
+	~int32 | ~int64 | ~float64 | ~string
+}
+
+// Integer constrains the integral element types (overflow checking applies
+// only to these).
+type Integer interface {
+	~int32 | ~int64
+}

@@ -1,0 +1,295 @@
+package primitives
+
+// Selection primitives evaluate a predicate over the input selection and
+// append the qualifying positions to dst, returning the new selection. They
+// are the X100 way of filtering: no data movement, just position lists.
+//
+// When sel is nil the predicate runs over positions [0, n).
+
+// SelEqVC selects positions where a[i] == c.
+func SelEqVC[T Ordered](dst []int32, a []T, c T, sel []int32, n int) []int32 {
+	dst = dst[:0]
+	if sel == nil {
+		for i := 0; i < n; i++ {
+			if a[i] == c {
+				dst = append(dst, int32(i))
+			}
+		}
+		return dst
+	}
+	for _, i := range sel {
+		if a[i] == c {
+			dst = append(dst, i)
+		}
+	}
+	return dst
+}
+
+// SelNeVC selects positions where a[i] != c.
+func SelNeVC[T Ordered](dst []int32, a []T, c T, sel []int32, n int) []int32 {
+	dst = dst[:0]
+	if sel == nil {
+		for i := 0; i < n; i++ {
+			if a[i] != c {
+				dst = append(dst, int32(i))
+			}
+		}
+		return dst
+	}
+	for _, i := range sel {
+		if a[i] != c {
+			dst = append(dst, i)
+		}
+	}
+	return dst
+}
+
+// SelLtVC selects positions where a[i] < c.
+func SelLtVC[T Ordered](dst []int32, a []T, c T, sel []int32, n int) []int32 {
+	dst = dst[:0]
+	if sel == nil {
+		for i := 0; i < n; i++ {
+			if a[i] < c {
+				dst = append(dst, int32(i))
+			}
+		}
+		return dst
+	}
+	for _, i := range sel {
+		if a[i] < c {
+			dst = append(dst, i)
+		}
+	}
+	return dst
+}
+
+// SelLeVC selects positions where a[i] <= c.
+func SelLeVC[T Ordered](dst []int32, a []T, c T, sel []int32, n int) []int32 {
+	dst = dst[:0]
+	if sel == nil {
+		for i := 0; i < n; i++ {
+			if a[i] <= c {
+				dst = append(dst, int32(i))
+			}
+		}
+		return dst
+	}
+	for _, i := range sel {
+		if a[i] <= c {
+			dst = append(dst, i)
+		}
+	}
+	return dst
+}
+
+// SelGtVC selects positions where a[i] > c.
+func SelGtVC[T Ordered](dst []int32, a []T, c T, sel []int32, n int) []int32 {
+	dst = dst[:0]
+	if sel == nil {
+		for i := 0; i < n; i++ {
+			if a[i] > c {
+				dst = append(dst, int32(i))
+			}
+		}
+		return dst
+	}
+	for _, i := range sel {
+		if a[i] > c {
+			dst = append(dst, i)
+		}
+	}
+	return dst
+}
+
+// SelGeVC selects positions where a[i] >= c.
+func SelGeVC[T Ordered](dst []int32, a []T, c T, sel []int32, n int) []int32 {
+	dst = dst[:0]
+	if sel == nil {
+		for i := 0; i < n; i++ {
+			if a[i] >= c {
+				dst = append(dst, int32(i))
+			}
+		}
+		return dst
+	}
+	for _, i := range sel {
+		if a[i] >= c {
+			dst = append(dst, i)
+		}
+	}
+	return dst
+}
+
+// SelEqVV selects positions where a[i] == b[i].
+func SelEqVV[T Ordered](dst []int32, a, b []T, sel []int32, n int) []int32 {
+	dst = dst[:0]
+	if sel == nil {
+		for i := 0; i < n; i++ {
+			if a[i] == b[i] {
+				dst = append(dst, int32(i))
+			}
+		}
+		return dst
+	}
+	for _, i := range sel {
+		if a[i] == b[i] {
+			dst = append(dst, i)
+		}
+	}
+	return dst
+}
+
+// SelNeVV selects positions where a[i] != b[i].
+func SelNeVV[T Ordered](dst []int32, a, b []T, sel []int32, n int) []int32 {
+	dst = dst[:0]
+	if sel == nil {
+		for i := 0; i < n; i++ {
+			if a[i] != b[i] {
+				dst = append(dst, int32(i))
+			}
+		}
+		return dst
+	}
+	for _, i := range sel {
+		if a[i] != b[i] {
+			dst = append(dst, i)
+		}
+	}
+	return dst
+}
+
+// SelLtVV selects positions where a[i] < b[i].
+func SelLtVV[T Ordered](dst []int32, a, b []T, sel []int32, n int) []int32 {
+	dst = dst[:0]
+	if sel == nil {
+		for i := 0; i < n; i++ {
+			if a[i] < b[i] {
+				dst = append(dst, int32(i))
+			}
+		}
+		return dst
+	}
+	for _, i := range sel {
+		if a[i] < b[i] {
+			dst = append(dst, i)
+		}
+	}
+	return dst
+}
+
+// SelLeVV selects positions where a[i] <= b[i].
+func SelLeVV[T Ordered](dst []int32, a, b []T, sel []int32, n int) []int32 {
+	dst = dst[:0]
+	if sel == nil {
+		for i := 0; i < n; i++ {
+			if a[i] <= b[i] {
+				dst = append(dst, int32(i))
+			}
+		}
+		return dst
+	}
+	for _, i := range sel {
+		if a[i] <= b[i] {
+			dst = append(dst, i)
+		}
+	}
+	return dst
+}
+
+// SelGtVV selects positions where a[i] > b[i].
+func SelGtVV[T Ordered](dst []int32, a, b []T, sel []int32, n int) []int32 {
+	dst = dst[:0]
+	if sel == nil {
+		for i := 0; i < n; i++ {
+			if a[i] > b[i] {
+				dst = append(dst, int32(i))
+			}
+		}
+		return dst
+	}
+	for _, i := range sel {
+		if a[i] > b[i] {
+			dst = append(dst, i)
+		}
+	}
+	return dst
+}
+
+// SelGeVV selects positions where a[i] >= b[i].
+func SelGeVV[T Ordered](dst []int32, a, b []T, sel []int32, n int) []int32 {
+	dst = dst[:0]
+	if sel == nil {
+		for i := 0; i < n; i++ {
+			if a[i] >= b[i] {
+				dst = append(dst, int32(i))
+			}
+		}
+		return dst
+	}
+	for _, i := range sel {
+		if a[i] >= b[i] {
+			dst = append(dst, i)
+		}
+	}
+	return dst
+}
+
+// SelBetweenVCC selects positions where lo <= a[i] <= hi; a fused range
+// predicate (one pass instead of two plus an AND).
+func SelBetweenVCC[T Ordered](dst []int32, a []T, lo, hi T, sel []int32, n int) []int32 {
+	dst = dst[:0]
+	if sel == nil {
+		for i := 0; i < n; i++ {
+			if a[i] >= lo && a[i] <= hi {
+				dst = append(dst, int32(i))
+			}
+		}
+		return dst
+	}
+	for _, i := range sel {
+		if a[i] >= lo && a[i] <= hi {
+			dst = append(dst, i)
+		}
+	}
+	return dst
+}
+
+// SelTrue selects positions where the bool vector is true; used for
+// predicates that were materialized as bool values (e.g. LIKE results).
+func SelTrue(dst []int32, a []bool, sel []int32, n int) []int32 {
+	dst = dst[:0]
+	if sel == nil {
+		for i := 0; i < n; i++ {
+			if a[i] {
+				dst = append(dst, int32(i))
+			}
+		}
+		return dst
+	}
+	for _, i := range sel {
+		if a[i] {
+			dst = append(dst, i)
+		}
+	}
+	return dst
+}
+
+// SelFalse selects positions where the bool vector is false (vectorized NOT
+// on a filter).
+func SelFalse(dst []int32, a []bool, sel []int32, n int) []int32 {
+	dst = dst[:0]
+	if sel == nil {
+		for i := 0; i < n; i++ {
+			if !a[i] {
+				dst = append(dst, int32(i))
+			}
+		}
+		return dst
+	}
+	for _, i := range sel {
+		if !a[i] {
+			dst = append(dst, i)
+		}
+	}
+	return dst
+}

@@ -1,0 +1,121 @@
+package primitives
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSelVCFamily(t *testing.T) {
+	a := []int64{5, 1, 7, 5, 3}
+	check := func(name string, got []int32, want ...int32) {
+		t.Helper()
+		if len(got) != len(want) {
+			t.Fatalf("%s: got %v want %v", name, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%s: got %v want %v", name, got, want)
+			}
+		}
+	}
+	check("eq", SelEqVC(nil, a, int64(5), nil, 5), 0, 3)
+	check("ne", SelNeVC(nil, a, int64(5), nil, 5), 1, 2, 4)
+	check("lt", SelLtVC(nil, a, int64(5), nil, 5), 1, 4)
+	check("le", SelLeVC(nil, a, int64(5), nil, 5), 0, 1, 3, 4)
+	check("gt", SelGtVC(nil, a, int64(5), nil, 5), 2)
+	check("ge", SelGeVC(nil, a, int64(5), nil, 5), 0, 2, 3)
+	check("between", SelBetweenVCC(nil, a, int64(3), int64(5), nil, 5), 0, 3, 4)
+	// Chained through a prior selection.
+	prior := []int32{0, 2, 4}
+	check("chained gt", SelGtVC(nil, a, int64(4), prior, 5), 0, 2)
+}
+
+func TestSelVVFamily(t *testing.T) {
+	a := []int32{1, 5, 3, 9}
+	b := []int32{1, 4, 3, 10}
+	if got := SelEqVV(nil, a, b, nil, 4); len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Fatalf("eqvv: %v", got)
+	}
+	if got := SelNeVV(nil, a, b, nil, 4); len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("nevv: %v", got)
+	}
+	if got := SelLtVV(nil, a, b, nil, 4); len(got) != 1 || got[0] != 3 {
+		t.Fatalf("ltvv: %v", got)
+	}
+	if got := SelGtVV(nil, a, b, nil, 4); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("gtvv: %v", got)
+	}
+	if got := SelLeVV(nil, a, b, nil, 4); len(got) != 3 {
+		t.Fatalf("levv: %v", got)
+	}
+	if got := SelGeVV(nil, a, b, nil, 4); len(got) != 3 {
+		t.Fatalf("gevv: %v", got)
+	}
+}
+
+func TestSelStrings(t *testing.T) {
+	a := []string{"apple", "banana", "apple", "cherry"}
+	got := SelEqVC(nil, a, "apple", nil, 4)
+	if len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Fatalf("string eq: %v", got)
+	}
+	got = SelGtVC(nil, a, "banana", nil, 4)
+	if len(got) != 1 || got[0] != 3 {
+		t.Fatalf("string gt: %v", got)
+	}
+}
+
+func TestSelTrueFalse(t *testing.T) {
+	b := []bool{true, false, true, false}
+	if got := SelTrue(nil, b, nil, 4); len(got) != 2 || got[1] != 2 {
+		t.Fatalf("true: %v", got)
+	}
+	if got := SelFalse(nil, b, nil, 4); len(got) != 2 || got[1] != 3 {
+		t.Fatalf("false: %v", got)
+	}
+	if got := SelTrue(nil, b, []int32{1, 2, 3}, 4); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("true sel: %v", got)
+	}
+}
+
+// Property: SelLtVC ∪ SelGeVC partitions the input selection.
+func TestSelPartitionProperty(t *testing.T) {
+	f := func(vals []int64, c int64) bool {
+		n := len(vals)
+		lt := SelLtVC(nil, vals, c, nil, n)
+		ge := SelGeVC(nil, vals, c, nil, n)
+		if len(lt)+len(ge) != n {
+			return false
+		}
+		seen := make(map[int32]bool, n)
+		for _, i := range lt {
+			seen[i] = true
+		}
+		for _, i := range ge {
+			if seen[i] {
+				return false
+			}
+			seen[i] = true
+		}
+		return len(seen) == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: selection vectors are always sorted ascending.
+func TestSelSortedProperty(t *testing.T) {
+	f := func(vals []float64, c float64) bool {
+		got := SelGtVC(nil, vals, c, nil, len(vals))
+		for i := 1; i < len(got); i++ {
+			if got[i-1] >= got[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,864 @@
+package rewriter
+
+import (
+	"fmt"
+	"math"
+
+	"vectorwise/internal/algebra"
+	"vectorwise/internal/expr"
+	"vectorwise/internal/types"
+)
+
+// NULL decomposition. Every node of the logical algebra is rewritten into a
+// physical node whose columns are all non-nullable; each logical column is
+// represented by a value column (holding an in-band "safe" value at NULL
+// positions) and, when nullable, a BOOL indicator column. Convention: a
+// node's physical layout is [values in logical order] ++ [indicators of
+// nullable columns in logical order] — the same convention the engine uses
+// for table storage, so scans are trivial.
+
+// PhysicalSchema derives the storage layout for a logical table schema.
+func PhysicalSchema(logical *types.Schema) *types.Schema {
+	out := &types.Schema{}
+	for _, c := range logical.Cols {
+		out.Cols = append(out.Cols, types.Col(c.Name, c.Type.NotNull()))
+	}
+	for _, c := range logical.Cols {
+		if c.Type.Nullable {
+			out.Cols = append(out.Cols, types.Col(c.Name+"$null", types.Bool))
+		}
+	}
+	return out
+}
+
+// PhysicalColMap maps a logical schema onto PhysicalSchema's layout.
+func PhysicalColMap(logical *types.Schema) ColMap {
+	cm := ColMap{Val: make([]int, logical.Len()), Ind: make([]int, logical.Len())}
+	ind := logical.Len()
+	for i, c := range logical.Cols {
+		cm.Val[i] = i
+		if c.Type.Nullable {
+			cm.Ind[i] = ind
+			ind++
+		} else {
+			cm.Ind[i] = -1
+		}
+	}
+	return cm
+}
+
+// decompose rewrites n into NULL-free physical algebra.
+func decompose(n algebra.Node) (algebra.Node, ColMap, error) {
+	switch t := n.(type) {
+	case *algebra.Scan:
+		logical := t.Out
+		phys := PhysicalSchema(logical)
+		cols := make([]string, phys.Len())
+		for i, c := range phys.Cols {
+			cols[i] = c.Name
+		}
+		return &algebra.Scan{Table: t.Table, Structure: t.Structure, Cols: cols,
+			Out: phys, Part: t.Part, Parts: t.Parts}, PhysicalColMap(logical), nil
+
+	case *algebra.Values:
+		logical := t.Out
+		phys := PhysicalSchema(logical)
+		cm := PhysicalColMap(logical)
+		rows := make([][]types.Value, len(t.Rows))
+		for r, row := range t.Rows {
+			nr := make([]types.Value, phys.Len())
+			for i, v := range row {
+				if v.Null {
+					nr[cm.Val[i]] = types.SafeValue(logical.Cols[i].Type.Kind)
+					if cm.Ind[i] < 0 {
+						return nil, ColMap{}, fmt.Errorf("rewriter: NULL in non-nullable VALUES column %d", i)
+					}
+				} else {
+					nr[cm.Val[i]] = v
+				}
+				if cm.Ind[i] >= 0 {
+					nr[cm.Ind[i]] = types.NewBool(v.Null)
+				}
+			}
+			rows[r] = nr
+		}
+		return &algebra.Values{Rows: rows, Out: phys}, cm, nil
+
+	case *algebra.Select:
+		child, cm, err := decompose(t.Child)
+		if err != nil {
+			return nil, ColMap{}, err
+		}
+		d := &exprDecomposer{cm: cm, logical: t.Child.Schema()}
+		val, ind, err := d.decomp(t.Pred)
+		if err != nil {
+			return nil, ColMap{}, err
+		}
+		// SQL filters keep rows where the predicate is TRUE (not NULL).
+		pred := andE(val, notE(ind))
+		return &algebra.Select{Child: child, Pred: pred}, cm, nil
+
+	case *algebra.Project:
+		child, cm, err := decompose(t.Child)
+		if err != nil {
+			return nil, ColMap{}, err
+		}
+		d := &exprDecomposer{cm: cm, logical: t.Child.Schema()}
+		var exprs []expr.Expr
+		var names []string
+		outMap := ColMap{}
+		var indExprs []expr.Expr
+		var indNames []string
+		for i, e := range t.Exprs {
+			val, ind, err := d.decomp(e)
+			if err != nil {
+				return nil, ColMap{}, err
+			}
+			outMap.Val = append(outMap.Val, len(exprs))
+			exprs = append(exprs, val)
+			names = append(names, t.Names[i])
+			if isFalseConst(ind) {
+				outMap.Ind = append(outMap.Ind, -1)
+			} else {
+				outMap.Ind = append(outMap.Ind, -2-len(indExprs)) // patched below
+				indExprs = append(indExprs, ind)
+				indNames = append(indNames, t.Names[i]+"$null")
+			}
+		}
+		base := len(exprs)
+		for i := range outMap.Ind {
+			if outMap.Ind[i] < -1 {
+				outMap.Ind[i] = base + (-outMap.Ind[i] - 2)
+			}
+		}
+		exprs = append(exprs, indExprs...)
+		names = append(names, indNames...)
+		return &algebra.Project{Child: child, Exprs: exprs, Names: names}, outMap, nil
+
+	case *algebra.Aggr:
+		return decomposeAggr(t)
+
+	case *algebra.HashJoin:
+		return decomposeJoin(t)
+
+	case *algebra.Sort:
+		child, cm, err := decompose(t.Child)
+		if err != nil {
+			return nil, ColMap{}, err
+		}
+		var keys []algebra.SortKey
+		for _, k := range t.Keys {
+			if cm.Ind[k.Col] >= 0 {
+				// NULLs sort together (last): indicator is the major key.
+				keys = append(keys, algebra.SortKey{Col: cm.Ind[k.Col]})
+			}
+			keys = append(keys, algebra.SortKey{Col: cm.Val[k.Col], Desc: k.Desc})
+		}
+		return &algebra.Sort{Child: child, Keys: keys}, cm, nil
+
+	case *algebra.TopN:
+		child, cm, err := decompose(t.Child)
+		if err != nil {
+			return nil, ColMap{}, err
+		}
+		var keys []algebra.SortKey
+		for _, k := range t.Keys {
+			if cm.Ind[k.Col] >= 0 {
+				keys = append(keys, algebra.SortKey{Col: cm.Ind[k.Col]})
+			}
+			keys = append(keys, algebra.SortKey{Col: cm.Val[k.Col], Desc: k.Desc})
+		}
+		return &algebra.TopN{Child: child, Keys: keys, N: t.N}, cm, nil
+
+	case *algebra.Limit:
+		child, cm, err := decompose(t.Child)
+		if err != nil {
+			return nil, ColMap{}, err
+		}
+		return &algebra.Limit{Child: child, Offset: t.Offset, N: t.N}, cm, nil
+
+	case *algebra.UnionAll:
+		kids := make([]algebra.Node, len(t.Kids))
+		var cm ColMap
+		for i, k := range t.Kids {
+			dk, kcm, err := decompose(k)
+			if err != nil {
+				return nil, ColMap{}, err
+			}
+			kids[i] = dk
+			if i == 0 {
+				cm = kcm
+			}
+		}
+		return &algebra.UnionAll{Kids: kids}, cm, nil
+
+	case *algebra.XchgUnion:
+		kids := make([]algebra.Node, len(t.Kids))
+		var cm ColMap
+		for i, k := range t.Kids {
+			dk, kcm, err := decompose(k)
+			if err != nil {
+				return nil, ColMap{}, err
+			}
+			kids[i] = dk
+			if i == 0 {
+				cm = kcm
+			}
+		}
+		return &algebra.XchgUnion{Kids: kids}, cm, nil
+	}
+	return nil, ColMap{}, fmt.Errorf("rewriter: cannot decompose %T", n)
+}
+
+// --- aggregates ---
+
+func decomposeAggr(t *algebra.Aggr) (algebra.Node, ColMap, error) {
+	child, cm, err := decompose(t.Child)
+	if err != nil {
+		return nil, ColMap{}, err
+	}
+	logical := t.Child.Schema()
+	childPhys := child.Schema()
+	colE := func(idx int) expr.Expr {
+		c := childPhys.Cols[idx]
+		return expr.Col(idx, c.Name, c.Type)
+	}
+	// Pre-projection feeding the physical aggregate.
+	var pre []expr.Expr
+	var preNames []string
+	add := func(e expr.Expr, name string) int {
+		pre = append(pre, e)
+		preNames = append(preNames, name)
+		return len(pre) - 1
+	}
+	// Group columns: value plus indicator (NULL group keys form their own
+	// group because the safe value + indicator pair is uniform).
+	var groupCols []int
+	outMap := ColMap{}
+	groupIndPos := map[int]int{} // logical group idx → position among group outputs
+	for gi, g := range t.GroupCols {
+		vi := add(colE(cm.Val[g]), fmt.Sprintf("$gv%d", gi))
+		groupCols = append(groupCols, vi)
+		groupIndPos[gi] = len(groupCols) - 1
+		outMap.Val = append(outMap.Val, len(groupCols)-1)
+		if cm.Ind[g] >= 0 {
+			ii := add(colE(cm.Ind[g]), fmt.Sprintf("$gi%d", gi))
+			groupCols = append(groupCols, ii)
+			outMap.Ind = append(outMap.Ind, len(groupCols)-1)
+		} else {
+			outMap.Ind = append(outMap.Ind, -1)
+		}
+	}
+	// Aggregates.
+	type aggPlan struct {
+		item    algebra.AggItem
+		outPos  int // position in physical agg output (set later)
+		indFrom int // index of the companion non-null-count agg, or -1
+		isAvg   bool
+		avgSum  int
+		avgCnt  int
+	}
+	var physAggs []algebra.AggItem
+	plans := make([]aggPlan, len(t.Aggs))
+	// cache of non-null-count aggs per logical column.
+	nnCount := map[int]int{}
+	addAgg := func(it algebra.AggItem) int {
+		physAggs = append(physAggs, it)
+		return len(physAggs) - 1
+	}
+	nonNullCountAgg := func(col int) int {
+		if idx, ok := nnCount[col]; ok {
+			return idx
+		}
+		nn := add(expr.NewCall("cast_int64", expr.NewCall("not", colE(cm.Ind[col]))), fmt.Sprintf("$nn%d", col))
+		idx := addAgg(algebra.AggItem{Fn: "sum", Col: nn})
+		nnCount[col] = idx
+		return idx
+	}
+	maskedVal := func(col int, extreme types.Value) (expr.Expr, error) {
+		v := colE(cm.Val[col])
+		if cm.Ind[col] < 0 {
+			return v, nil
+		}
+		return expr.TryCall("if", colE(cm.Ind[col]), &expr.Const{Val: extreme}, v)
+	}
+	for ai, a := range t.Aggs {
+		p := &plans[ai]
+		p.indFrom = -1
+		nullable := a.Col >= 0 && cm.Ind[a.Col] >= 0
+		kind := types.KindInvalid
+		if a.Col >= 0 {
+			kind = logical.Cols[a.Col].Type.Kind
+		}
+		switch a.Fn {
+		case "count":
+			if a.Col < 0 || !nullable {
+				var col = -1
+				if a.Col >= 0 {
+					col = add(colE(cm.Val[a.Col]), fmt.Sprintf("$c%d", ai))
+				}
+				_ = col
+				p.outPos = addAgg(algebra.AggItem{Fn: "count", Col: -1})
+			} else {
+				// COUNT(col) over nullable = SUM(NOT ind).
+				p.outPos = nonNullCountAgg(a.Col)
+			}
+		case "sum":
+			mv, err := maskedVal(a.Col, types.SafeValue(kind))
+			if err != nil {
+				return nil, ColMap{}, err
+			}
+			ci := add(mv, fmt.Sprintf("$s%d", ai))
+			p.outPos = addAgg(algebra.AggItem{Fn: "sum", Col: ci})
+			if nullable {
+				p.indFrom = nonNullCountAgg(a.Col)
+			}
+		case "min", "max":
+			var extreme types.Value
+			if nullable {
+				switch kind {
+				case types.KindInt32:
+					extreme = types.NewInt32(extremeI32(a.Fn == "min"))
+				case types.KindInt64:
+					extreme = types.NewInt64(extremeI64(a.Fn == "min"))
+				case types.KindFloat64:
+					extreme = types.NewFloat64(extremeF64(a.Fn == "min"))
+				case types.KindDate:
+					extreme = types.NewDate(extremeI32(a.Fn == "min"))
+				default:
+					return nil, ColMap{}, fmt.Errorf("rewriter: %s over nullable %v is not supported", a.Fn, kind)
+				}
+			}
+			mv, err := maskedVal(a.Col, extreme)
+			if err != nil {
+				return nil, ColMap{}, err
+			}
+			ci := add(mv, fmt.Sprintf("$m%d", ai))
+			p.outPos = addAgg(algebra.AggItem{Fn: a.Fn, Col: ci})
+			if nullable {
+				p.indFrom = nonNullCountAgg(a.Col)
+			}
+		case "avg":
+			if !nullable {
+				ci := add(colE(cm.Val[a.Col]), fmt.Sprintf("$a%d", ai))
+				p.outPos = addAgg(algebra.AggItem{Fn: "avg", Col: ci})
+			} else {
+				// AVG over nullable = SUM(masked as float) / COUNT(non-null).
+				mv, err := maskedVal(a.Col, types.SafeValue(kind))
+				if err != nil {
+					return nil, ColMap{}, err
+				}
+				if kind != types.KindFloat64 {
+					mv = expr.Promote(mv, types.KindFloat64)
+				}
+				ci := add(mv, fmt.Sprintf("$a%d", ai))
+				p.isAvg = true
+				p.avgSum = addAgg(algebra.AggItem{Fn: "sum", Col: ci})
+				p.avgCnt = nonNullCountAgg(a.Col)
+				p.indFrom = p.avgCnt
+			}
+		default:
+			return nil, ColMap{}, fmt.Errorf("rewriter: aggregate %q", a.Fn)
+		}
+	}
+	preNode := &algebra.Project{Child: child, Exprs: pre, Names: preNames}
+	aggNames := make([]string, len(groupCols)+len(physAggs))
+	for i := range aggNames {
+		aggNames[i] = fmt.Sprintf("$o%d", i)
+	}
+	aggNode := &algebra.Aggr{Child: preNode, GroupCols: rangeInts(len(groupCols)),
+		Aggs: physAggs, Names: aggNames}
+	aggSchema := aggNode.Schema()
+	aggColE := func(idx int) expr.Expr {
+		c := aggSchema.Cols[idx]
+		return expr.Col(idx, c.Name, c.Type.NotNull())
+	}
+	// Post-projection: group outputs in logical order, then aggregate
+	// values, then indicators.
+	var post []expr.Expr
+	var postNames []string
+	finalMap := ColMap{}
+	var inds []expr.Expr
+	var indNames []string
+	pushOut := func(val expr.Expr, ind expr.Expr, name string) {
+		finalMap.Val = append(finalMap.Val, len(post))
+		post = append(post, val)
+		postNames = append(postNames, name)
+		if ind == nil {
+			finalMap.Ind = append(finalMap.Ind, -1)
+		} else {
+			finalMap.Ind = append(finalMap.Ind, -2-len(inds))
+			inds = append(inds, ind)
+			indNames = append(indNames, name+"$null")
+		}
+	}
+	for gi := range t.GroupCols {
+		vPos := outMap.Val[gi]
+		var ind expr.Expr
+		if outMap.Ind[gi] >= 0 {
+			ind = aggColE(outMap.Ind[gi])
+		}
+		pushOut(aggColE(vPos), ind, t.Names[gi])
+	}
+	nGroupOut := len(groupCols)
+	for ai := range t.Aggs {
+		p := plans[ai]
+		name := t.Names[len(t.GroupCols)+ai]
+		var ind expr.Expr
+		if p.indFrom >= 0 {
+			ind = expr.NewCall("=", aggColE(nGroupOut+p.indFrom), expr.CInt(0))
+		}
+		if p.isAvg {
+			sumE := aggColE(nGroupOut + p.avgSum)
+			cntE := expr.Promote(aggColE(nGroupOut+p.avgCnt), types.KindFloat64)
+			val := expr.NewCall("if",
+				expr.NewCall(">", cntE, expr.CFloat(0)),
+				expr.NewCall("/", sumE, expr.NewCall("max2", cntE, expr.CFloat(1))),
+				expr.CFloat(0))
+			pushOut(val, ind, name)
+			continue
+		}
+		pushOut(aggColE(nGroupOut+p.outPos), ind, name)
+	}
+	base := len(post)
+	for i := range finalMap.Ind {
+		if finalMap.Ind[i] < -1 {
+			finalMap.Ind[i] = base + (-finalMap.Ind[i] - 2)
+		}
+	}
+	post = append(post, inds...)
+	postNames = append(postNames, indNames...)
+	return &algebra.Project{Child: aggNode, Exprs: post, Names: postNames}, finalMap, nil
+}
+
+func rangeInts(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func extremeI32(isMin bool) int32 {
+	if isMin {
+		return math.MaxInt32
+	}
+	return math.MinInt32
+}
+
+func extremeI64(isMin bool) int64 {
+	if isMin {
+		return math.MaxInt64
+	}
+	return math.MinInt64
+}
+
+func extremeF64(isMin bool) float64 {
+	if isMin {
+		return math.Inf(1)
+	}
+	return math.Inf(-1)
+}
+
+// --- joins (including the C10 anti-join intricacies) ---
+
+func decomposeJoin(t *algebra.HashJoin) (algebra.Node, ColMap, error) {
+	left, lcm, err := decompose(t.Left)
+	if err != nil {
+		return nil, ColMap{}, err
+	}
+	right, rcm, err := decompose(t.Right)
+	if err != nil {
+		return nil, ColMap{}, err
+	}
+	nlLogical := t.Left.Schema().Len()
+	// Physical key columns.
+	lk := make([]int, len(t.LeftKeys))
+	rk := make([]int, len(t.RightKeys))
+	lNullable := false
+
+	var lIndCols, rIndCols []int
+	for i := range t.LeftKeys {
+		lk[i] = lcm.Val[t.LeftKeys[i]]
+		rk[i] = rcm.Val[t.RightKeys[i]]
+		if li := lcm.Ind[t.LeftKeys[i]]; li >= 0 {
+			lNullable = true
+			lIndCols = append(lIndCols, li)
+		} else {
+			lIndCols = append(lIndCols, -1)
+		}
+		if ri := rcm.Ind[t.RightKeys[i]]; ri >= 0 {
+
+			rIndCols = append(rIndCols, ri)
+		} else {
+			rIndCols = append(rIndCols, -1)
+		}
+	}
+	switch t.Kind {
+	case algebra.Inner, algebra.Semi:
+		// NULL keys never match: filter both sides.
+		left = filterNotNullKeys(left, lIndCols)
+		right = filterNotNullKeys(right, rIndCols)
+	case algebra.LeftOuter, algebra.Anti:
+		// Probe rows must survive; only the build side is filtered. To keep
+		// safe values from falsely matching, nullable probe keys gain the
+		// indicator as an extra key column against constant FALSE on the
+		// build side.
+		right = filterNotNullKeys(right, rIndCols)
+		if lNullable {
+			var extraRight []int
+			right, extraRight = appendFalseCols(right, countNonNeg(lIndCols))
+			ei := 0
+			for i, li := range lIndCols {
+				_ = i
+				if li < 0 {
+					continue
+				}
+				lk = append(lk, li)
+				rk = append(rk, extraRight[ei])
+				ei++
+			}
+		}
+	case algebra.AntiNullAware:
+		if len(t.LeftKeys) != 1 {
+			return nil, ColMap{}, fmt.Errorf("rewriter: multi-key NOT IN is not supported")
+		}
+	}
+	hj := &algebra.HashJoin{Left: left, Right: right, Kind: t.Kind,
+		LeftKeys: lk, RightKeys: rk, LeftKeyNull: -1, RightKeyNull: -1}
+	if t.Kind == algebra.AntiNullAware {
+		hj.LeftKeyNull = lIndCols[0]  // may be -1 (non-nullable side)
+		hj.RightKeyNull = rIndCols[0] // may be -1
+	}
+	switch t.Kind {
+	case algebra.Semi, algebra.Anti, algebra.AntiNullAware:
+		return hj, lcm, nil
+	case algebra.Inner:
+		cm := ColMap{}
+		nlPhys := left.Schema().Len()
+		cm.Val = append(cm.Val, lcm.Val...)
+		cm.Ind = append(cm.Ind, lcm.Ind...)
+		for _, v := range rcm.Val {
+			cm.Val = append(cm.Val, nlPhys+v)
+		}
+		for _, v := range rcm.Ind {
+			if v < 0 {
+				cm.Ind = append(cm.Ind, -1)
+			} else {
+				cm.Ind = append(cm.Ind, nlPhys+v)
+			}
+		}
+		return hj, cm, nil
+	case algebra.LeftOuter:
+		hj.WithMatch = true
+		js := hj.Schema()
+		matchIdx := js.Len() - 1
+		jcolE := func(idx int) expr.Expr {
+			c := js.Cols[idx]
+			return expr.Col(idx, c.Name, c.Type.NotNull())
+		}
+		notMatch := expr.NewCall("not", jcolE(matchIdx))
+		var exprs []expr.Expr
+		var names []string
+		cm := ColMap{}
+		var inds []expr.Expr
+		var indNames []string
+		nlPhys := left.Schema().Len()
+		// Left columns pass through.
+		for i := range lcm.Val {
+			cm.Val = append(cm.Val, len(exprs))
+			exprs = append(exprs, jcolE(lcm.Val[i]))
+			names = append(names, fmt.Sprintf("l%d", i))
+			if lcm.Ind[i] >= 0 {
+				cm.Ind = append(cm.Ind, -2-len(inds))
+				inds = append(inds, jcolE(lcm.Ind[i]))
+				indNames = append(indNames, fmt.Sprintf("l%d$null", i))
+			} else {
+				cm.Ind = append(cm.Ind, -1)
+			}
+		}
+		// Right columns: indicator = own indicator OR NOT matched.
+		for j := range rcm.Val {
+			cm.Val = append(cm.Val, len(exprs))
+			exprs = append(exprs, jcolE(nlPhys+rcm.Val[j]))
+			names = append(names, fmt.Sprintf("r%d", j))
+			var ind expr.Expr = notMatch
+			if rcm.Ind[j] >= 0 {
+				ind = expr.NewCall("or", jcolE(nlPhys+rcm.Ind[j]), notMatch)
+			}
+			cm.Ind = append(cm.Ind, -2-len(inds))
+			inds = append(inds, ind)
+			indNames = append(indNames, fmt.Sprintf("r%d$null", j))
+		}
+		base := len(exprs)
+		for i := range cm.Ind {
+			if cm.Ind[i] < -1 {
+				cm.Ind[i] = base + (-cm.Ind[i] - 2)
+			}
+		}
+		exprs = append(exprs, inds...)
+		names = append(names, indNames...)
+		_ = nlLogical
+		return &algebra.Project{Child: hj, Exprs: exprs, Names: names}, cm, nil
+	}
+	return nil, ColMap{}, fmt.Errorf("rewriter: join kind %v", t.Kind)
+}
+
+func countNonNeg(xs []int) int {
+	n := 0
+	for _, x := range xs {
+		if x >= 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// filterNotNullKeys adds Select(NOT ind…) for each nullable key indicator.
+func filterNotNullKeys(n algebra.Node, indCols []int) algebra.Node {
+	s := n.Schema()
+	for _, ic := range indCols {
+		if ic < 0 {
+			continue
+		}
+		pred := expr.NewCall("not", expr.Col(ic, s.Cols[ic].Name, types.Bool))
+		n = &algebra.Select{Child: n, Pred: pred}
+	}
+	return n
+}
+
+// appendFalseCols projects n extra constant-FALSE columns, returning their
+// indexes.
+func appendFalseCols(n algebra.Node, count int) (algebra.Node, []int) {
+	s := n.Schema()
+	var exprs []expr.Expr
+	var names []string
+	for i, c := range s.Cols {
+		exprs = append(exprs, expr.Col(i, c.Name, c.Type))
+		names = append(names, c.Name)
+	}
+	var idxs []int
+	for k := 0; k < count; k++ {
+		idxs = append(idxs, len(exprs))
+		exprs = append(exprs, expr.CBool(false))
+		names = append(names, fmt.Sprintf("$false%d", k))
+	}
+	return &algebra.Project{Child: n, Exprs: exprs, Names: names}, idxs
+}
+
+// --- expression decomposition ---
+
+type exprDecomposer struct {
+	cm      ColMap
+	logical *types.Schema
+}
+
+// decomp returns (value, indicator) physical expressions for a logical
+// expression. The indicator is the constant false for never-NULL results.
+func (d *exprDecomposer) decomp(e expr.Expr) (expr.Expr, expr.Expr, error) {
+	switch t := e.(type) {
+	case *expr.Const:
+		if t.Val.Null {
+			return &expr.Const{Val: types.SafeValue(t.Val.Kind)}, expr.CBool(true), nil
+		}
+		return t, expr.CBool(false), nil
+	case *expr.ColRef:
+		val := expr.Col(d.cm.Val[t.Idx], t.Name, t.T.NotNull())
+		if d.cm.Ind[t.Idx] < 0 {
+			return val, expr.CBool(false), nil
+		}
+		return val, expr.Col(d.cm.Ind[t.Idx], t.Name+"$null", types.Bool), nil
+	case *expr.Call:
+		return d.decompCall(t)
+	}
+	return nil, nil, fmt.Errorf("rewriter: cannot decompose expression %T", e)
+}
+
+func (d *exprDecomposer) decompCall(c *expr.Call) (expr.Expr, expr.Expr, error) {
+	switch c.Fn {
+	case "isnull":
+		_, ind, err := d.decomp(c.Args[0])
+		if err != nil {
+			return nil, nil, err
+		}
+		return ind, expr.CBool(false), nil
+	case "isnotnull":
+		_, ind, err := d.decomp(c.Args[0])
+		if err != nil {
+			return nil, nil, err
+		}
+		return notE(ind), expr.CBool(false), nil
+	case "ifnull", "coalesce":
+		av, ai, err := d.decomp(c.Args[0])
+		if err != nil {
+			return nil, nil, err
+		}
+		bv, bi, err := d.decomp(c.Args[1])
+		if err != nil {
+			return nil, nil, err
+		}
+		if isFalseConst(ai) {
+			return av, ai, nil
+		}
+		val, err := expr.TryCall("if", ai, bv, av)
+		if err != nil {
+			return nil, nil, err
+		}
+		return val, andE(ai, bi), nil
+	case "nullif":
+		av, ai, err := d.decomp(c.Args[0])
+		if err != nil {
+			return nil, nil, err
+		}
+		bv, bi, err := d.decomp(c.Args[1])
+		if err != nil {
+			return nil, nil, err
+		}
+		eq, err := expr.TryCall("=", av, bv)
+		if err != nil {
+			return nil, nil, err
+		}
+		eq3 := andE(eq, andE(notE(ai), notE(bi)))
+		return av, orE(ai, eq3), nil
+	case "and":
+		av, ai, err := d.decomp(c.Args[0])
+		if err != nil {
+			return nil, nil, err
+		}
+		bv, bi, err := d.decomp(c.Args[1])
+		if err != nil {
+			return nil, nil, err
+		}
+		if isFalseConst(ai) && isFalseConst(bi) {
+			return andE(av, bv), expr.CBool(false), nil
+		}
+		// Known-false dominates NULL: result NULL iff some side unknown
+		// and no side is known false.
+		aKnownFalse := andE(notE(av), notE(ai))
+		bKnownFalse := andE(notE(bv), notE(bi))
+		val := andE(av, bv)
+		ind := andE(orE(ai, bi), notE(orE(aKnownFalse, bKnownFalse)))
+		return val, ind, nil
+	case "or":
+		av, ai, err := d.decomp(c.Args[0])
+		if err != nil {
+			return nil, nil, err
+		}
+		bv, bi, err := d.decomp(c.Args[1])
+		if err != nil {
+			return nil, nil, err
+		}
+		if isFalseConst(ai) && isFalseConst(bi) {
+			return orE(av, bv), expr.CBool(false), nil
+		}
+		aKnownTrue := andE(av, notE(ai))
+		bKnownTrue := andE(bv, notE(bi))
+		val := orE(aKnownTrue, bKnownTrue)
+		ind := andE(orE(ai, bi), notE(val))
+		return val, ind, nil
+	case "not":
+		av, ai, err := d.decomp(c.Args[0])
+		if err != nil {
+			return nil, nil, err
+		}
+		return notE(av), ai, nil
+	case "if":
+		cv, ci, err := d.decomp(c.Args[0])
+		if err != nil {
+			return nil, nil, err
+		}
+		tv, ti, err := d.decomp(c.Args[1])
+		if err != nil {
+			return nil, nil, err
+		}
+		ev, ei, err := d.decomp(c.Args[2])
+		if err != nil {
+			return nil, nil, err
+		}
+		cond := andE(cv, notE(ci)) // NULL condition selects the else branch
+		val, err := expr.TryCall("if", cond, tv, ev)
+		if err != nil {
+			return nil, nil, err
+		}
+		var ind expr.Expr
+		if isFalseConst(ti) && isFalseConst(ei) {
+			ind = expr.CBool(false)
+		} else {
+			ind, err = expr.TryCall("if", cond, ti, ei)
+			if err != nil {
+				return nil, nil, err
+			}
+		}
+		return val, ind, nil
+	default:
+		// Strict functions: apply over values, OR the indicators.
+		vals := make([]expr.Expr, len(c.Args))
+		var ind expr.Expr = expr.CBool(false)
+		for i, a := range c.Args {
+			v, ai, err := d.decomp(a)
+			if err != nil {
+				return nil, nil, err
+			}
+			vals[i] = v
+			ind = orE(ind, ai)
+		}
+		val, err := expr.TryCall(c.Fn, vals...)
+		if err != nil {
+			return nil, nil, err
+		}
+		return val, ind, nil
+	}
+}
+
+// Boolean expression helpers with constant short-circuiting.
+
+func isFalseConst(e expr.Expr) bool {
+	c, ok := e.(*expr.Const)
+	return ok && c.Val.Kind == types.KindBool && !c.Val.Null && !c.Val.Bool()
+}
+
+func isTrueConst(e expr.Expr) bool {
+	c, ok := e.(*expr.Const)
+	return ok && c.Val.Kind == types.KindBool && !c.Val.Null && c.Val.Bool()
+}
+
+func andE(a, b expr.Expr) expr.Expr {
+	switch {
+	case isTrueConst(a):
+		return b
+	case isTrueConst(b):
+		return a
+	case isFalseConst(a):
+		return a
+	case isFalseConst(b):
+		return b
+	}
+	return expr.NewCall("and", a, b)
+}
+
+func orE(a, b expr.Expr) expr.Expr {
+	switch {
+	case isFalseConst(a):
+		return b
+	case isFalseConst(b):
+		return a
+	case isTrueConst(a):
+		return a
+	case isTrueConst(b):
+		return b
+	}
+	return expr.NewCall("or", a, b)
+}
+
+func notE(a expr.Expr) expr.Expr {
+	switch {
+	case isFalseConst(a):
+		return expr.CBool(true)
+	case isTrueConst(a):
+		return expr.CBool(false)
+	}
+	if c, ok := a.(*expr.Call); ok && c.Fn == "not" {
+		return c.Args[0]
+	}
+	return expr.NewCall("not", a)
+}

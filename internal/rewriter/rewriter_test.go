@@ -1,0 +1,232 @@
+package rewriter
+
+import (
+	"strings"
+	"testing"
+
+	"vectorwise/internal/algebra"
+	"vectorwise/internal/expr"
+	"vectorwise/internal/types"
+)
+
+func scanNode(cols ...types.Column) *algebra.Scan {
+	s := types.NewSchema(cols...)
+	names := make([]string, len(cols))
+	for i, c := range cols {
+		names[i] = c.Name
+	}
+	return &algebra.Scan{Table: "t", Structure: "vectorwise", Cols: names, Out: s}
+}
+
+func TestPhysicalSchemaConvention(t *testing.T) {
+	logical := types.NewSchema(
+		types.Col("a", types.Int64),
+		types.Col("b", types.Float64.Null()),
+		types.Col("c", types.String.Null()),
+	)
+	phys := PhysicalSchema(logical)
+	if phys.Len() != 5 {
+		t.Fatalf("phys: %s", phys)
+	}
+	if phys.Cols[3].Name != "b$null" || phys.Cols[4].Name != "c$null" {
+		t.Fatalf("indicator names: %s", phys)
+	}
+	for _, c := range phys.Cols {
+		if c.Type.Nullable {
+			t.Fatal("physical schema must be NULL-free")
+		}
+	}
+	cm := PhysicalColMap(logical)
+	if cm.Ind[0] != -1 || cm.Ind[1] != 3 || cm.Ind[2] != 4 {
+		t.Fatalf("colmap: %+v", cm)
+	}
+}
+
+func TestDecomposeSelectIsNull(t *testing.T) {
+	scan := scanNode(types.Col("x", types.Int64.Null()))
+	sel := &algebra.Select{Child: scan, Pred: expr.NewCall("isnull",
+		expr.Col(0, "x", types.Int64.Null()))}
+	res, err := Rewrite(sel, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The physical predicate must reference only the indicator column.
+	f := algebra.Format(res.Node)
+	if !strings.Contains(f, "x$null") {
+		t.Fatalf("no indicator in plan:\n%s", f)
+	}
+	// Output schema NULL-free.
+	for _, c := range res.Node.Schema().Cols {
+		if c.Type.Nullable {
+			t.Fatal("nullable output after decomposition")
+		}
+	}
+}
+
+func TestDecomposeProjectIndicators(t *testing.T) {
+	scan := scanNode(types.Col("a", types.Int64.Null()), types.Col("b", types.Int64))
+	proj := &algebra.Project{
+		Child: scan,
+		Exprs: []expr.Expr{
+			expr.NewCall("+", expr.Col(0, "a", types.Int64.Null()), expr.Col(1, "b", types.Int64)),
+			expr.Col(1, "b", types.Int64),
+		},
+		Names: []string{"s", "b"},
+	}
+	res, err := Rewrite(proj, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm := res.ColMap
+	if cm.Ind[0] < 0 {
+		t.Fatal("nullable + nullable output lost its indicator")
+	}
+	if cm.Ind[1] != -1 {
+		t.Fatal("non-nullable column gained an indicator")
+	}
+}
+
+func TestThreeValuedLogicDecomposition(t *testing.T) {
+	// NULL OR TRUE must be TRUE: decompose or(a, b) and check the
+	// indicator expression is not a plain OR of indicators.
+	scan := scanNode(types.Col("p", types.Bool.Null()), types.Col("q", types.Bool))
+	sel := &algebra.Select{Child: scan, Pred: expr.NewCall("or",
+		expr.Col(0, "p", types.Bool.Null()), expr.Col(1, "q", types.Bool))}
+	res, err := Rewrite(sel, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The plan must keep rows where q is true even when p is NULL: the
+	// predicate contains q as a known-true escape.
+	f := algebra.Format(res.Node)
+	if !strings.Contains(f, "q") {
+		t.Fatalf("decomposed OR lost operand:\n%s", f)
+	}
+}
+
+func TestDecomposeAggrNullable(t *testing.T) {
+	scan := scanNode(types.Col("g", types.Int64), types.Col("v", types.Float64.Null()))
+	agg := &algebra.Aggr{
+		Child:     scan,
+		GroupCols: []int{0},
+		Aggs: []algebra.AggItem{
+			{Fn: "count", Col: -1},
+			{Fn: "count", Col: 1},
+			{Fn: "sum", Col: 1},
+			{Fn: "avg", Col: 1},
+			{Fn: "min", Col: 1},
+		},
+		Names: []string{"g", "cnt", "cntv", "sumv", "avgv", "minv"},
+	}
+	res, err := Rewrite(agg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm := res.ColMap
+	if cm.Ind[0] != -1 || cm.Ind[1] != -1 || cm.Ind[2] != -1 {
+		t.Fatalf("count outputs must not be nullable: %+v", cm)
+	}
+	for _, i := range []int{3, 4, 5} {
+		if cm.Ind[i] < 0 {
+			t.Fatalf("nullable agg %d lost indicator: %+v", i, cm)
+		}
+	}
+}
+
+func TestDecomposeMinNullableStringRejected(t *testing.T) {
+	scan := scanNode(types.Col("s", types.String.Null()))
+	agg := &algebra.Aggr{Child: scan, GroupCols: nil,
+		Aggs: []algebra.AggItem{{Fn: "min", Col: 0}}, Names: []string{"m"}}
+	if _, err := Rewrite(agg, Options{}); err == nil {
+		t.Fatal("min over nullable string should be rejected")
+	}
+}
+
+func TestDecomposeAntiNullJoin(t *testing.T) {
+	left := scanNode(types.Col("x", types.Int64))
+	right := scanNode(types.Col("y", types.Int64.Null()))
+	j := &algebra.HashJoin{Left: left, Right: right, Kind: algebra.AntiNullAware,
+		LeftKeys: []int{0}, RightKeys: []int{0}, LeftKeyNull: -1, RightKeyNull: -1}
+	res, err := Rewrite(j, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hj, ok := res.Node.(*algebra.HashJoin)
+	if !ok {
+		t.Fatalf("top: %T", res.Node)
+	}
+	if hj.RightKeyNull < 0 {
+		t.Fatal("null-aware anti join lost its indicator column")
+	}
+}
+
+func TestLowerFuncs(t *testing.T) {
+	scan := scanNode(types.Col("s", types.String), types.Col("x", types.Int64))
+	proj := &algebra.Project{
+		Child: scan,
+		Exprs: []expr.Expr{
+			expr.NewCall("trim", expr.Col(0, "s", types.String)),
+			expr.NewCall("abs", expr.Col(1, "x", types.Int64)),
+		},
+		Names: []string{"t", "a"},
+	}
+	res, err := Rewrite(proj, Options{LowerFuncs: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := algebra.Format(res.Node)
+	if !strings.Contains(f, "ltrim(rtrim(") {
+		t.Fatalf("trim not lowered:\n%s", f)
+	}
+	if !strings.Contains(f, "max2(") {
+		t.Fatalf("abs not lowered:\n%s", f)
+	}
+}
+
+func TestParallelizeAggr(t *testing.T) {
+	scan := scanNode(types.Col("g", types.Int64), types.Col("v", types.Float64))
+	agg := &algebra.Aggr{Child: scan, GroupCols: []int{0},
+		Aggs:  []algebra.AggItem{{Fn: "count", Col: -1}, {Fn: "sum", Col: 1}, {Fn: "avg", Col: 1}},
+		Names: []string{"g", "c", "s", "a"}}
+	res, err := Rewrite(agg, Options{Parallel: 4, PartsHint: func(string) int { return 8 }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := algebra.Format(res.Node)
+	if !strings.Contains(f, "XchgUnion(4)") {
+		t.Fatalf("no exchange:\n%s", f)
+	}
+	if !strings.Contains(f, "part 0/4") || !strings.Contains(f, "part 3/4") {
+		t.Fatalf("scan not partitioned:\n%s", f)
+	}
+	// Output schema arity preserved.
+	if res.Node.Schema().Len() != agg.Schema().Len() {
+		t.Fatalf("parallel plan changed schema: %s vs %s", res.Node.Schema(), agg.Schema())
+	}
+}
+
+func TestParallelizeRespectsPartsHint(t *testing.T) {
+	scan := scanNode(types.Col("v", types.Int64))
+	agg := &algebra.Aggr{Child: scan, Aggs: []algebra.AggItem{{Fn: "sum", Col: 0}}, Names: []string{"s"}}
+	res, err := Rewrite(agg, Options{Parallel: 8, PartsHint: func(string) int { return 1 }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(algebra.Format(res.Node), "Xchg") {
+		t.Fatal("parallelized despite parts hint of 1")
+	}
+}
+
+func TestConstantFoldingPass(t *testing.T) {
+	scan := scanNode(types.Col("x", types.Int64))
+	sel := &algebra.Select{Child: scan, Pred: expr.NewCall(">",
+		expr.Col(0, "x", types.Int64),
+		expr.NewCall("+", expr.CInt(20), expr.CInt(22)))}
+	res, err := Rewrite(sel, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(algebra.Format(res.Node), "42") {
+		t.Fatalf("constant not folded:\n%s", algebra.Format(res.Node))
+	}
+}

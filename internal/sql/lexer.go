@@ -1,0 +1,200 @@
+// Package sql is the SQL front door: a hand-written lexer and recursive-
+// descent parser producing the AST consumed by the binder (internal/plan).
+// It plays the role of Ingres' SQL parser in Figure 1 of the paper.
+package sql
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TokKind classifies tokens.
+type TokKind uint8
+
+// Token kinds.
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokKeyword
+	TokInt
+	TokFloat
+	TokString
+	TokOp // operators and punctuation
+)
+
+// Token is one lexical token with its source offset (for error messages).
+type Token struct {
+	Kind TokKind
+	Text string // keywords upper-cased; identifiers lower-cased
+	Pos  int
+}
+
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
+	"HAVING": true, "ORDER": true, "LIMIT": true, "OFFSET": true, "AS": true,
+	"AND": true, "OR": true, "NOT": true, "IN": true, "EXISTS": true,
+	"BETWEEN": true, "LIKE": true, "IS": true, "NULL": true, "TRUE": true,
+	"FALSE": true, "CASE": true, "WHEN": true, "THEN": true, "ELSE": true,
+	"END": true, "CAST": true, "JOIN": true, "INNER": true, "LEFT": true,
+	"OUTER": true, "ON": true, "CREATE": true, "TABLE": true, "PRIMARY": true,
+	"KEY": true, "WITH": true, "STRUCTURE": true, "INSERT": true, "INTO": true,
+	"VALUES": true, "UPDATE": true, "SET": true, "DELETE": true, "COPY": true,
+	"ANALYZE": true, "EXPLAIN": true, "DROP": true, "SHOW": true, "TABLES": true,
+	"QUERIES": true, "CHECKPOINT": true, "DISTINCT": true, "ASC": true,
+	"DESC": true, "INTEGER": true, "INT": true, "BIGINT": true, "DOUBLE": true,
+	"FLOAT": true, "VARCHAR": true, "TEXT": true, "CHAR": true, "DATE": true,
+	"BOOLEAN": true, "BOOL": true, "PROFILE": true, "BEGIN": true,
+	"COMMIT": true, "ABORT": true, "ROLLBACK": true, "UNION": true, "ALL": true,
+	"CROSS": true, "SEMI": true, "ANTI": true, "COUNT": true, "SUM": true,
+	"MIN": true, "MAX": true, "AVG": true, "EXTRACT": true, "YEAR": true,
+	"MONTH": true, "DAY": true, "QUARTER": true, "VECTORWISE": true,
+	"HEAP": true, "PARALLEL": true, "VECTORSIZE": true,
+}
+
+// Lexer tokenizes SQL text.
+type Lexer struct {
+	src string
+	at  int
+}
+
+// NewLexer builds a lexer over src.
+func NewLexer(src string) *Lexer { return &Lexer{src: src} }
+
+// Next returns the next token.
+func (l *Lexer) Next() (Token, error) {
+	l.skipSpace()
+	if l.at >= len(l.src) {
+		return Token{Kind: TokEOF, Pos: l.at}, nil
+	}
+	pos := l.at
+	c := l.src[l.at]
+	switch {
+	case isAlpha(c) || c == '_':
+		start := l.at
+		for l.at < len(l.src) && (isAlnum(l.src[l.at]) || l.src[l.at] == '_' || l.src[l.at] == '$') {
+			l.at++
+		}
+		word := l.src[start:l.at]
+		up := strings.ToUpper(word)
+		if keywords[up] {
+			return Token{Kind: TokKeyword, Text: up, Pos: pos}, nil
+		}
+		return Token{Kind: TokIdent, Text: strings.ToLower(word), Pos: pos}, nil
+	case isDigit(c):
+		start := l.at
+		isFloat := false
+		for l.at < len(l.src) && isDigit(l.src[l.at]) {
+			l.at++
+		}
+		if l.at < len(l.src) && l.src[l.at] == '.' && l.at+1 < len(l.src) && isDigit(l.src[l.at+1]) {
+			isFloat = true
+			l.at++
+			for l.at < len(l.src) && isDigit(l.src[l.at]) {
+				l.at++
+			}
+		}
+		if l.at < len(l.src) && (l.src[l.at] == 'e' || l.src[l.at] == 'E') {
+			save := l.at
+			l.at++
+			if l.at < len(l.src) && (l.src[l.at] == '+' || l.src[l.at] == '-') {
+				l.at++
+			}
+			if l.at < len(l.src) && isDigit(l.src[l.at]) {
+				isFloat = true
+				for l.at < len(l.src) && isDigit(l.src[l.at]) {
+					l.at++
+				}
+			} else {
+				l.at = save
+			}
+		}
+		kind := TokInt
+		if isFloat {
+			kind = TokFloat
+		}
+		return Token{Kind: kind, Text: l.src[start:l.at], Pos: pos}, nil
+	case c == '\'':
+		l.at++
+		var b strings.Builder
+		for l.at < len(l.src) {
+			if l.src[l.at] == '\'' {
+				if l.at+1 < len(l.src) && l.src[l.at+1] == '\'' {
+					b.WriteByte('\'')
+					l.at += 2
+					continue
+				}
+				l.at++
+				return Token{Kind: TokString, Text: b.String(), Pos: pos}, nil
+			}
+			b.WriteByte(l.src[l.at])
+			l.at++
+		}
+		return Token{}, fmt.Errorf("sql: unterminated string literal at offset %d", pos)
+	case c == '"':
+		// Quoted identifier.
+		l.at++
+		start := l.at
+		for l.at < len(l.src) && l.src[l.at] != '"' {
+			l.at++
+		}
+		if l.at >= len(l.src) {
+			return Token{}, fmt.Errorf("sql: unterminated quoted identifier at offset %d", pos)
+		}
+		word := l.src[start:l.at]
+		l.at++
+		return Token{Kind: TokIdent, Text: strings.ToLower(word), Pos: pos}, nil
+	default:
+		for _, op := range []string{"<=", ">=", "<>", "!=", "||"} {
+			if strings.HasPrefix(l.src[l.at:], op) {
+				l.at += 2
+				text := op
+				if op == "!=" {
+					text = "<>"
+				}
+				return Token{Kind: TokOp, Text: text, Pos: pos}, nil
+			}
+		}
+		switch c {
+		case '+', '-', '*', '/', '%', '(', ')', ',', '.', '=', '<', '>', ';':
+			l.at++
+			return Token{Kind: TokOp, Text: string(c), Pos: pos}, nil
+		}
+		return Token{}, fmt.Errorf("sql: unexpected character %q at offset %d", c, pos)
+	}
+}
+
+func (l *Lexer) skipSpace() {
+	for l.at < len(l.src) {
+		c := l.src[l.at]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.at++
+		case c == '-' && l.at+1 < len(l.src) && l.src[l.at+1] == '-':
+			for l.at < len(l.src) && l.src[l.at] != '\n' {
+				l.at++
+			}
+		default:
+			return
+		}
+	}
+}
+
+func isAlpha(c byte) bool { return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') }
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+func isAlnum(c byte) bool { return isAlpha(c) || isDigit(c) }
+
+// Tokenize runs the lexer to completion.
+func Tokenize(src string) ([]Token, error) {
+	l := NewLexer(src)
+	var out []Token
+	for {
+		t, err := l.Next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.Kind == TokEOF {
+			return out, nil
+		}
+	}
+}

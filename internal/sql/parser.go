@@ -1,0 +1,1136 @@
+package sql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"vectorwise/internal/types"
+)
+
+// Parser is a recursive-descent SQL parser.
+type Parser struct {
+	toks []Token
+	at   int
+}
+
+// Parse parses one statement (an optional trailing semicolon is consumed).
+func Parse(src string) (Stmt, error) {
+	toks, err := Tokenize(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &Parser{toks: toks}
+	stmt, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	p.accept(";")
+	if !p.atEOF() {
+		return nil, p.errf("trailing input after statement")
+	}
+	return stmt, nil
+}
+
+// ParseAll parses a semicolon-separated script.
+func ParseAll(src string) ([]Stmt, error) {
+	toks, err := Tokenize(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &Parser{toks: toks}
+	var out []Stmt
+	for !p.atEOF() {
+		if p.accept(";") {
+			continue
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+		if !p.accept(";") && !p.atEOF() {
+			return nil, p.errf("expected ';' between statements")
+		}
+	}
+	return out, nil
+}
+
+func (p *Parser) cur() Token  { return p.toks[p.at] }
+func (p *Parser) atEOF() bool { return p.cur().Kind == TokEOF }
+
+func (p *Parser) errf(format string, args ...any) error {
+	return fmt.Errorf("sql: %s (near offset %d, token %q)",
+		fmt.Sprintf(format, args...), p.cur().Pos, p.cur().Text)
+}
+
+// accept consumes the token if it matches a keyword or operator text.
+func (p *Parser) accept(text string) bool {
+	t := p.cur()
+	if (t.Kind == TokKeyword || t.Kind == TokOp) && t.Text == text {
+		p.at++
+		return true
+	}
+	return false
+}
+
+func (p *Parser) expect(text string) error {
+	if !p.accept(text) {
+		return p.errf("expected %q", text)
+	}
+	return nil
+}
+
+func (p *Parser) acceptIdent() (string, bool) {
+	if p.cur().Kind == TokIdent {
+		s := p.cur().Text
+		p.at++
+		return s, true
+	}
+	return "", false
+}
+
+func (p *Parser) expectIdent() (string, error) {
+	s, ok := p.acceptIdent()
+	if !ok {
+		return "", p.errf("expected identifier")
+	}
+	return s, nil
+}
+
+// softKeywords may double as identifiers in alias positions (AS year, …).
+var softKeywords = map[string]bool{
+	"YEAR": true, "MONTH": true, "DAY": true, "QUARTER": true, "COUNT": true,
+	"SUM": true, "MIN": true, "MAX": true, "AVG": true, "KEY": true,
+	"TABLES": true, "QUERIES": true, "STRUCTURE": true, "PARALLEL": true,
+}
+
+// expectAliasIdent is expectIdent that also tolerates soft keywords.
+func (p *Parser) expectAliasIdent() (string, error) {
+	if p.cur().Kind == TokKeyword && softKeywords[p.cur().Text] {
+		s := strings.ToLower(p.cur().Text)
+		p.at++
+		return s, nil
+	}
+	return p.expectIdent()
+}
+
+func (p *Parser) parseStmt() (Stmt, error) {
+	switch p.cur().Text {
+	case "SELECT":
+		return p.parseSelect()
+	case "CREATE":
+		return p.parseCreate()
+	case "DROP":
+		return p.parseDrop()
+	case "INSERT":
+		return p.parseInsert()
+	case "UPDATE":
+		return p.parseUpdate()
+	case "DELETE":
+		return p.parseDelete()
+	case "COPY":
+		return p.parseCopy()
+	case "ANALYZE":
+		p.at++
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		return &AnalyzeStmt{Table: name}, nil
+	case "CHECKPOINT":
+		p.at++
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		return &CheckpointStmt{Table: name}, nil
+	case "EXPLAIN", "PROFILE":
+		prof := p.cur().Text == "PROFILE"
+		p.at++
+		inner, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		return &ExplainStmt{Query: inner, Profile: prof}, nil
+	case "SHOW":
+		p.at++
+		switch {
+		case p.accept("TABLES"):
+			return &ShowStmt{What: "tables"}, nil
+		case p.accept("QUERIES"):
+			return &ShowStmt{What: "queries"}, nil
+		}
+		return nil, p.errf("expected TABLES or QUERIES after SHOW")
+	}
+	return nil, p.errf("expected a statement")
+}
+
+func (p *Parser) parseSelect() (*SelectStmt, error) {
+	if err := p.expect("SELECT"); err != nil {
+		return nil, err
+	}
+	s := &SelectStmt{Limit: -1}
+	s.Distinct = p.accept("DISTINCT")
+	// Select list.
+	for {
+		if p.accept("*") {
+			s.Items = append(s.Items, SelectItem{Star: true})
+		} else {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			item := SelectItem{Expr: e}
+			if p.accept("AS") {
+				a, err := p.expectAliasIdent()
+				if err != nil {
+					return nil, err
+				}
+				item.Alias = a
+			} else if p.cur().Kind == TokIdent {
+				item.Alias, _ = p.acceptIdent()
+			}
+			s.Items = append(s.Items, item)
+		}
+		if !p.accept(",") {
+			break
+		}
+	}
+	if p.accept("FROM") {
+		for {
+			tr, err := p.parseTableRef()
+			if err != nil {
+				return nil, err
+			}
+			s.From = append(s.From, tr)
+			if !p.accept(",") {
+				break
+			}
+		}
+	}
+	if p.accept("WHERE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		s.Where = e
+	}
+	if p.accept("GROUP") {
+		if err := p.expect("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			s.GroupBy = append(s.GroupBy, e)
+			if !p.accept(",") {
+				break
+			}
+		}
+	}
+	if p.accept("HAVING") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		s.Having = e
+	}
+	if p.accept("ORDER") {
+		if err := p.expect("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			item := OrderItem{Expr: e}
+			if p.accept("DESC") {
+				item.Desc = true
+			} else {
+				p.accept("ASC")
+			}
+			s.OrderBy = append(s.OrderBy, item)
+			if !p.accept(",") {
+				break
+			}
+		}
+	}
+	if p.accept("LIMIT") {
+		n, err := p.parseIntLit()
+		if err != nil {
+			return nil, err
+		}
+		s.Limit = n
+	}
+	if p.accept("OFFSET") {
+		n, err := p.parseIntLit()
+		if err != nil {
+			return nil, err
+		}
+		s.Offset = n
+	}
+	if p.accept("WITH") {
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		for {
+			switch {
+			case p.accept("PARALLEL"):
+				if err := p.expect("="); err != nil {
+					return nil, err
+				}
+				n, err := p.parseIntLit()
+				if err != nil {
+					return nil, err
+				}
+				s.Parallel = int(n)
+			case p.accept("VECTORSIZE"):
+				if err := p.expect("="); err != nil {
+					return nil, err
+				}
+				n, err := p.parseIntLit()
+				if err != nil {
+					return nil, err
+				}
+				s.VectorSize = int(n)
+			default:
+				return nil, p.errf("unknown query option")
+			}
+			if !p.accept(",") {
+				break
+			}
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+func (p *Parser) parseIntLit() (int64, error) {
+	t := p.cur()
+	if t.Kind != TokInt {
+		return 0, p.errf("expected integer literal")
+	}
+	p.at++
+	return strconv.ParseInt(t.Text, 10, 64)
+}
+
+// parseTableRef parses a base table, derived table or JOIN chain.
+func (p *Parser) parseTableRef() (TableRef, error) {
+	left, err := p.parseTablePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		kind := ""
+		switch {
+		case p.accept("JOIN"):
+			kind = "inner"
+		case p.accept("INNER"):
+			if err := p.expect("JOIN"); err != nil {
+				return nil, err
+			}
+			kind = "inner"
+		case p.accept("LEFT"):
+			p.accept("OUTER")
+			if err := p.expect("JOIN"); err != nil {
+				return nil, err
+			}
+			kind = "left"
+		case p.accept("CROSS"):
+			if err := p.expect("JOIN"); err != nil {
+				return nil, err
+			}
+			kind = "cross"
+		case p.accept("SEMI"):
+			if err := p.expect("JOIN"); err != nil {
+				return nil, err
+			}
+			kind = "semi"
+		case p.accept("ANTI"):
+			if err := p.expect("JOIN"); err != nil {
+				return nil, err
+			}
+			kind = "anti"
+		default:
+			return left, nil
+		}
+		right, err := p.parseTablePrimary()
+		if err != nil {
+			return nil, err
+		}
+		j := &JoinRef{Kind: kind, Left: left, Right: right}
+		if kind != "cross" {
+			if err := p.expect("ON"); err != nil {
+				return nil, err
+			}
+			on, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			j.On = on
+		}
+		left = j
+	}
+}
+
+func (p *Parser) parseTablePrimary() (TableRef, error) {
+	if p.accept("(") {
+		sub, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		alias := ""
+		p.accept("AS")
+		if a, ok := p.acceptIdent(); ok {
+			alias = a
+		}
+		if alias == "" {
+			return nil, p.errf("derived table needs an alias")
+		}
+		return &SubqueryTable{Query: sub, Alias: alias}, nil
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	bt := &BaseTable{Name: name}
+	if p.accept("AS") {
+		a, err := p.expectAliasIdent()
+		if err != nil {
+			return nil, err
+		}
+		bt.Alias = a
+	} else if p.cur().Kind == TokIdent {
+		bt.Alias, _ = p.acceptIdent()
+	}
+	return bt, nil
+}
+
+// --- expressions (precedence climbing) ---
+
+func (p *Parser) parseExpr() (ExprNode, error) { return p.parseOr() }
+
+func (p *Parser) parseOr() (ExprNode, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept("OR") {
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinOp{Op: "or", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *Parser) parseAnd() (ExprNode, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept("AND") {
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinOp{Op: "and", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *Parser) parseNot() (ExprNode, error) {
+	if p.accept("NOT") {
+		e, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &UnOp{Op: "not", E: e}, nil
+	}
+	return p.parseComparison()
+}
+
+func (p *Parser) parseComparison() (ExprNode, error) {
+	l, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	// Postfix predicates.
+	for {
+		if op, ok := p.acceptCmpOp(); ok {
+			r, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			l = &BinOp{Op: op, L: l, R: r}
+			continue
+		}
+		switch {
+		case p.accept("IS"):
+			not := p.accept("NOT")
+			if err := p.expect("NULL"); err != nil {
+				return nil, err
+			}
+			l = &IsNullExpr{E: l, Not: not}
+			continue
+		case p.accept("LIKE"):
+			r, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			l = &BinOp{Op: "like", L: l, R: r}
+			continue
+		case p.accept("BETWEEN"):
+			lo, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect("AND"); err != nil {
+				return nil, err
+			}
+			hi, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			l = &BetweenExpr{E: l, Lo: lo, Hi: hi}
+			continue
+		case p.accept("IN"):
+			in, err := p.parseInTail(l, false)
+			if err != nil {
+				return nil, err
+			}
+			l = in
+			continue
+		case p.accept("NOT"):
+			switch {
+			case p.accept("IN"):
+				in, err := p.parseInTail(l, true)
+				if err != nil {
+					return nil, err
+				}
+				l = in
+				continue
+			case p.accept("LIKE"):
+				r, err := p.parseAdditive()
+				if err != nil {
+					return nil, err
+				}
+				l = &UnOp{Op: "not", E: &BinOp{Op: "like", L: l, R: r}}
+				continue
+			case p.accept("BETWEEN"):
+				lo, err := p.parseAdditive()
+				if err != nil {
+					return nil, err
+				}
+				if err := p.expect("AND"); err != nil {
+					return nil, err
+				}
+				hi, err := p.parseAdditive()
+				if err != nil {
+					return nil, err
+				}
+				l = &BetweenExpr{E: l, Lo: lo, Hi: hi, Not: true}
+				continue
+			default:
+				return nil, p.errf("expected IN, LIKE or BETWEEN after NOT")
+			}
+		}
+		return l, nil
+	}
+}
+
+// acceptCmpOp consumes a comparison operator if present.
+func (p *Parser) acceptCmpOp() (string, bool) {
+	if p.cur().Kind != TokOp {
+		return "", false
+	}
+	switch p.cur().Text {
+	case "=", "<>", "<", "<=", ">", ">=":
+		op := p.cur().Text
+		p.at++
+		return op, true
+	}
+	return "", false
+}
+
+func (p *Parser) parseInTail(l ExprNode, not bool) (ExprNode, error) {
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	if p.cur().Text == "SELECT" {
+		sub, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return &InExpr{E: l, Sub: sub, Not: not}, nil
+	}
+	var list []ExprNode
+	for {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		list = append(list, e)
+		if !p.accept(",") {
+			break
+		}
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	return &InExpr{E: l, List: list, Not: not}, nil
+}
+
+func (p *Parser) parseAdditive() (ExprNode, error) {
+	l, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op string
+		switch {
+		case p.accept("+"):
+			op = "+"
+		case p.accept("-"):
+			op = "-"
+		case p.accept("||"):
+			op = "||"
+		default:
+			return l, nil
+		}
+		r, err := p.parseMultiplicative()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinOp{Op: op, L: l, R: r}
+	}
+}
+
+func (p *Parser) parseMultiplicative() (ExprNode, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op string
+		switch {
+		case p.accept("*"):
+			op = "*"
+		case p.accept("/"):
+			op = "/"
+		case p.accept("%"):
+			op = "%"
+		default:
+			return l, nil
+		}
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinOp{Op: op, L: l, R: r}
+	}
+}
+
+func (p *Parser) parseUnary() (ExprNode, error) {
+	if p.accept("-") {
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnOp{Op: "-", E: e}, nil
+	}
+	if p.accept("+") {
+		return p.parseUnary()
+	}
+	return p.parsePrimary()
+}
+
+func (p *Parser) parsePrimary() (ExprNode, error) {
+	t := p.cur()
+	switch t.Kind {
+	case TokInt:
+		p.at++
+		i, err := strconv.ParseInt(t.Text, 10, 64)
+		if err != nil {
+			return nil, p.errf("bad integer literal")
+		}
+		if i >= -(1<<31) && i < 1<<31 {
+			return &Lit{Val: types.NewInt32(int32(i))}, nil
+		}
+		return &Lit{Val: types.NewInt64(i)}, nil
+	case TokFloat:
+		p.at++
+		f, err := strconv.ParseFloat(t.Text, 64)
+		if err != nil {
+			return nil, p.errf("bad float literal")
+		}
+		return &Lit{Val: types.NewFloat64(f)}, nil
+	case TokString:
+		p.at++
+		return &Lit{Val: types.NewString(t.Text)}, nil
+	}
+	switch {
+	case p.accept("NULL"):
+		return &Lit{Val: types.NewNull(types.KindInvalid)}, nil
+	case p.accept("TRUE"):
+		return &Lit{Val: types.NewBool(true)}, nil
+	case p.accept("FALSE"):
+		return &Lit{Val: types.NewBool(false)}, nil
+	case p.accept("DATE"):
+		lt := p.cur()
+		if lt.Kind != TokString {
+			return nil, p.errf("expected string after DATE")
+		}
+		p.at++
+		d, err := types.ParseDate(lt.Text)
+		if err != nil {
+			return nil, err
+		}
+		return &Lit{Val: types.NewDate(d)}, nil
+	case p.accept("("):
+		if p.cur().Text == "SELECT" {
+			sub, err := p.parseSelect()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(")"); err != nil {
+				return nil, err
+			}
+			return &SubqueryExpr{Sub: sub}, nil
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case p.accept("CASE"):
+		return p.parseCase()
+	case p.accept("CAST"):
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect("AS"); err != nil {
+			return nil, err
+		}
+		tt, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return &CastExpr{E: e, To: tt}, nil
+	case p.accept("EXISTS"):
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		sub, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return &ExistsExpr{Sub: sub}, nil
+	case p.accept("EXTRACT"):
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		part := p.cur().Text
+		switch part {
+		case "YEAR", "MONTH", "DAY", "QUARTER":
+			p.at++
+		default:
+			return nil, p.errf("unsupported EXTRACT field")
+		}
+		if err := p.expect("FROM"); err != nil {
+			// FROM is a keyword; expect() matches keyword text.
+			return nil, err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return &FuncCall{Name: strings.ToLower(part), Args: []ExprNode{e}}, nil
+	}
+	// Aggregates and generic functions share call syntax.
+	if t.Kind == TokKeyword {
+		switch t.Text {
+		case "COUNT", "SUM", "MIN", "MAX", "AVG":
+			p.at++
+			if err := p.expect("("); err != nil {
+				return nil, err
+			}
+			fc := &FuncCall{Name: strings.ToLower(t.Text)}
+			if p.accept("*") {
+				fc.Star = true
+			} else {
+				e, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				fc.Args = []ExprNode{e}
+			}
+			if err := p.expect(")"); err != nil {
+				return nil, err
+			}
+			return fc, nil
+		case "YEAR", "MONTH", "DAY", "QUARTER":
+			// Function-call form YEAR(d); bare soft keyword is a column
+			// reference (e.g. an output alias named "year").
+			p.at++
+			if !p.accept("(") {
+				return &ColName{Name: strings.ToLower(t.Text)}, nil
+			}
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(")"); err != nil {
+				return nil, err
+			}
+			return &FuncCall{Name: strings.ToLower(t.Text), Args: []ExprNode{e}}, nil
+		}
+	}
+	if t.Kind == TokIdent {
+		name := t.Text
+		p.at++
+		// Function call?
+		if p.accept("(") {
+			fc := &FuncCall{Name: name}
+			if !p.accept(")") {
+				for {
+					e, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					fc.Args = append(fc.Args, e)
+					if !p.accept(",") {
+						break
+					}
+				}
+				if err := p.expect(")"); err != nil {
+					return nil, err
+				}
+			}
+			return fc, nil
+		}
+		// Qualified column?
+		if p.accept(".") {
+			col, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			return &ColName{Table: name, Name: col}, nil
+		}
+		return &ColName{Name: name}, nil
+	}
+	return nil, p.errf("expected an expression")
+}
+
+func (p *Parser) parseCase() (ExprNode, error) {
+	c := &CaseExpr{}
+	for p.accept("WHEN") {
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect("THEN"); err != nil {
+			return nil, err
+		}
+		then, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		c.Whens = append(c.Whens, WhenClause{Cond: cond, Then: then})
+	}
+	if len(c.Whens) == 0 {
+		return nil, p.errf("CASE needs at least one WHEN")
+	}
+	if p.accept("ELSE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		c.Else = e
+	}
+	if err := p.expect("END"); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+func (p *Parser) parseType() (types.T, error) {
+	t := p.cur()
+	if t.Kind != TokKeyword {
+		return types.T{}, p.errf("expected a type name")
+	}
+	p.at++
+	var out types.T
+	switch t.Text {
+	case "INTEGER", "INT":
+		out = types.Int32
+	case "BIGINT":
+		out = types.Int64
+	case "DOUBLE", "FLOAT":
+		out = types.Float64
+	case "VARCHAR", "TEXT", "CHAR":
+		out = types.String
+		// Optional length, ignored.
+		if p.accept("(") {
+			if _, err := p.parseIntLit(); err != nil {
+				return types.T{}, err
+			}
+			if err := p.expect(")"); err != nil {
+				return types.T{}, err
+			}
+		}
+	case "DATE":
+		out = types.Date
+	case "BOOLEAN", "BOOL":
+		out = types.Bool
+	default:
+		return types.T{}, p.errf("unknown type %s", t.Text)
+	}
+	return out, nil
+}
+
+// --- DDL / DML ---
+
+func (p *Parser) parseCreate() (Stmt, error) {
+	if err := p.expect("CREATE"); err != nil {
+		return nil, err
+	}
+	if err := p.expect("TABLE"); err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	st := &CreateTableStmt{Name: name, Structure: "vectorwise"}
+	for {
+		cname, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		ct, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		cd := ColDef{Name: cname, Type: ct.Null()} // nullable unless told otherwise
+		for {
+			switch {
+			case p.accept("NOT"):
+				if err := p.expect("NULL"); err != nil {
+					return nil, err
+				}
+				cd.Type = cd.Type.NotNull()
+			case p.accept("PRIMARY"):
+				if err := p.expect("KEY"); err != nil {
+					return nil, err
+				}
+				cd.PrimaryKey = true
+				cd.Type = cd.Type.NotNull()
+			case p.accept("NULL"):
+				cd.Type = cd.Type.Null()
+			default:
+				goto colDone
+			}
+		}
+	colDone:
+		st.Cols = append(st.Cols, cd)
+		if !p.accept(",") {
+			break
+		}
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	if p.accept("WITH") {
+		if err := p.expect("STRUCTURE"); err != nil {
+			return nil, err
+		}
+		if err := p.expect("="); err != nil {
+			return nil, err
+		}
+		switch {
+		case p.accept("VECTORWISE"):
+			st.Structure = "vectorwise"
+		case p.accept("HEAP"):
+			st.Structure = "heap"
+		default:
+			return nil, p.errf("expected VECTORWISE or HEAP")
+		}
+	}
+	return st, nil
+}
+
+func (p *Parser) parseDrop() (Stmt, error) {
+	if err := p.expect("DROP"); err != nil {
+		return nil, err
+	}
+	if err := p.expect("TABLE"); err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	return &DropTableStmt{Name: name}, nil
+}
+
+func (p *Parser) parseInsert() (Stmt, error) {
+	if err := p.expect("INSERT"); err != nil {
+		return nil, err
+	}
+	if err := p.expect("INTO"); err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	st := &InsertStmt{Table: name}
+	if p.accept("VALUES") {
+		for {
+			if err := p.expect("("); err != nil {
+				return nil, err
+			}
+			var row []ExprNode
+			for {
+				e, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, e)
+				if !p.accept(",") {
+					break
+				}
+			}
+			if err := p.expect(")"); err != nil {
+				return nil, err
+			}
+			st.Rows = append(st.Rows, row)
+			if !p.accept(",") {
+				break
+			}
+		}
+		return st, nil
+	}
+	if p.cur().Text == "SELECT" {
+		q, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		st.Query = q
+		return st, nil
+	}
+	return nil, p.errf("expected VALUES or SELECT")
+}
+
+func (p *Parser) parseUpdate() (Stmt, error) {
+	if err := p.expect("UPDATE"); err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect("SET"); err != nil {
+		return nil, err
+	}
+	st := &UpdateStmt{Table: name}
+	for {
+		col, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect("="); err != nil {
+			return nil, err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		st.Set = append(st.Set, SetClause{Col: col, Expr: e})
+		if !p.accept(",") {
+			break
+		}
+	}
+	if p.accept("WHERE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		st.Where = e
+	}
+	return st, nil
+}
+
+func (p *Parser) parseDelete() (Stmt, error) {
+	if err := p.expect("DELETE"); err != nil {
+		return nil, err
+	}
+	if err := p.expect("FROM"); err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	st := &DeleteStmt{Table: name}
+	if p.accept("WHERE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		st.Where = e
+	}
+	return st, nil
+}
+
+func (p *Parser) parseCopy() (Stmt, error) {
+	if err := p.expect("COPY"); err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect("FROM"); err != nil {
+		return nil, err
+	}
+	t := p.cur()
+	if t.Kind != TokString {
+		return nil, p.errf("expected file path string")
+	}
+	p.at++
+	return &CopyStmt{Table: name, Path: t.Text}, nil
+}

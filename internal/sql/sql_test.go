@@ -1,0 +1,288 @@
+package sql
+
+import (
+	"testing"
+
+	"vectorwise/internal/types"
+)
+
+func mustParse(t *testing.T, src string) Stmt {
+	t.Helper()
+	s, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	return s
+}
+
+func TestParseSimpleSelect(t *testing.T) {
+	s := mustParse(t, "SELECT a, b AS bee FROM t WHERE a > 5 ORDER BY b DESC LIMIT 10 OFFSET 2").(*SelectStmt)
+	if len(s.Items) != 2 || s.Items[1].Alias != "bee" {
+		t.Fatalf("items: %+v", s.Items)
+	}
+	if s.Limit != 10 || s.Offset != 2 {
+		t.Fatal("limit/offset")
+	}
+	if len(s.OrderBy) != 1 || !s.OrderBy[0].Desc {
+		t.Fatal("order by")
+	}
+	bo, ok := s.Where.(*BinOp)
+	if !ok || bo.Op != ">" {
+		t.Fatalf("where: %#v", s.Where)
+	}
+}
+
+func TestParseStarAndDistinct(t *testing.T) {
+	s := mustParse(t, "SELECT DISTINCT * FROM t").(*SelectStmt)
+	if !s.Distinct || !s.Items[0].Star {
+		t.Fatal("distinct star")
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	s := mustParse(t, "SELECT 1 + 2 * 3").(*SelectStmt)
+	add := s.Items[0].Expr.(*BinOp)
+	if add.Op != "+" {
+		t.Fatalf("top op: %v", add.Op)
+	}
+	if mul := add.R.(*BinOp); mul.Op != "*" {
+		t.Fatal("mul should bind tighter")
+	}
+	// AND/OR precedence.
+	s2 := mustParse(t, "SELECT * FROM t WHERE a = 1 OR b = 2 AND c = 3").(*SelectStmt)
+	or := s2.Where.(*BinOp)
+	if or.Op != "or" {
+		t.Fatal("or should be top")
+	}
+	if and := or.R.(*BinOp); and.Op != "and" {
+		t.Fatal("and should bind tighter")
+	}
+}
+
+func TestParseJoins(t *testing.T) {
+	s := mustParse(t, `SELECT * FROM a JOIN b ON a.x = b.x LEFT JOIN c ON b.y = c.y`).(*SelectStmt)
+	j := s.From[0].(*JoinRef)
+	if j.Kind != "left" {
+		t.Fatalf("outer join kind: %s", j.Kind)
+	}
+	inner := j.Left.(*JoinRef)
+	if inner.Kind != "inner" {
+		t.Fatal("inner join kind")
+	}
+	if inner.Left.(*BaseTable).Name != "a" || j.Right.(*BaseTable).Name != "c" {
+		t.Fatal("join shape")
+	}
+	s2 := mustParse(t, "SELECT * FROM a, b WHERE a.x = b.x").(*SelectStmt)
+	if len(s2.From) != 2 {
+		t.Fatal("comma join")
+	}
+	s3 := mustParse(t, "SELECT * FROM a CROSS JOIN b").(*SelectStmt)
+	if s3.From[0].(*JoinRef).Kind != "cross" {
+		t.Fatal("cross join")
+	}
+}
+
+func TestParseGroupHaving(t *testing.T) {
+	s := mustParse(t, `SELECT g, COUNT(*), SUM(v) FROM t GROUP BY g HAVING COUNT(*) > 2`).(*SelectStmt)
+	if len(s.GroupBy) != 1 || s.Having == nil {
+		t.Fatal("group/having")
+	}
+	cnt := s.Items[1].Expr.(*FuncCall)
+	if cnt.Name != "count" || !cnt.Star {
+		t.Fatal("count(*)")
+	}
+	sum := s.Items[2].Expr.(*FuncCall)
+	if sum.Name != "sum" || len(sum.Args) != 1 {
+		t.Fatal("sum(v)")
+	}
+}
+
+func TestParsePredicates(t *testing.T) {
+	s := mustParse(t, `SELECT * FROM t WHERE a BETWEEN 1 AND 10 AND b LIKE 'x%' AND c IS NOT NULL AND d IN (1,2,3) AND e NOT IN (SELECT k FROM u) AND NOT EXISTS (SELECT 1 FROM v)`).(*SelectStmt)
+	// Just verify it parsed into a tree with the right leaves.
+	var nIn, nBetween, nLike, nIsNull, nExists int
+	var walk func(e ExprNode)
+	walk = func(e ExprNode) {
+		switch n := e.(type) {
+		case *BinOp:
+			if n.Op == "like" {
+				nLike++
+			}
+			walk(n.L)
+			walk(n.R)
+		case *UnOp:
+			walk(n.E)
+		case *BetweenExpr:
+			nBetween++
+		case *IsNullExpr:
+			nIsNull++
+			if !n.Not {
+				t.Fatal("IS NOT NULL parsed as IS NULL")
+			}
+		case *InExpr:
+			nIn++
+			if n.Sub != nil && !n.Not {
+				t.Fatal("NOT IN lost its NOT")
+			}
+		case *ExistsExpr:
+			nExists++
+			if !n.Not {
+				// NOT EXISTS comes via UnOp(not, Exists) — both accepted.
+				_ = n
+			}
+		}
+	}
+	walk(s.Where)
+	if nIn != 2 || nBetween != 1 || nLike != 1 || nIsNull != 1 || nExists != 1 {
+		t.Fatalf("leaves: in=%d between=%d like=%d isnull=%d exists=%d", nIn, nBetween, nLike, nIsNull, nExists)
+	}
+}
+
+func TestParseCaseCastExtract(t *testing.T) {
+	s := mustParse(t, `SELECT CASE WHEN a > 0 THEN 'pos' ELSE 'neg' END, CAST(a AS DOUBLE), EXTRACT(YEAR FROM d), year(d) FROM t`).(*SelectStmt)
+	if _, ok := s.Items[0].Expr.(*CaseExpr); !ok {
+		t.Fatal("case")
+	}
+	c := s.Items[1].Expr.(*CastExpr)
+	if c.To.Kind != types.KindFloat64 {
+		t.Fatal("cast type")
+	}
+	e := s.Items[2].Expr.(*FuncCall)
+	if e.Name != "year" {
+		t.Fatal("extract")
+	}
+	f := s.Items[3].Expr.(*FuncCall)
+	if f.Name != "year" {
+		t.Fatal("year()")
+	}
+}
+
+func TestParseLiterals(t *testing.T) {
+	s := mustParse(t, `SELECT 1, 3000000000, 1.5, 'it''s', TRUE, NULL, DATE '2020-02-29'`).(*SelectStmt)
+	if s.Items[0].Expr.(*Lit).Val.Kind != types.KindInt32 {
+		t.Fatal("small int → INTEGER")
+	}
+	if s.Items[1].Expr.(*Lit).Val.Kind != types.KindInt64 {
+		t.Fatal("big int → BIGINT")
+	}
+	if s.Items[3].Expr.(*Lit).Val.Str != "it's" {
+		t.Fatal("escaped quote")
+	}
+	if !s.Items[5].Expr.(*Lit).Val.Null {
+		t.Fatal("null literal")
+	}
+	d := s.Items[6].Expr.(*Lit).Val
+	if d.Kind != types.KindDate || types.FormatDate(d.Int32()) != "2020-02-29" {
+		t.Fatal("date literal")
+	}
+}
+
+func TestParseCreateTable(t *testing.T) {
+	s := mustParse(t, `CREATE TABLE t (id BIGINT PRIMARY KEY, name VARCHAR(20) NOT NULL, v DOUBLE, d DATE) WITH STRUCTURE=HEAP`).(*CreateTableStmt)
+	if s.Name != "t" || s.Structure != "heap" || len(s.Cols) != 4 {
+		t.Fatalf("create: %+v", s)
+	}
+	if !s.Cols[0].PrimaryKey || s.Cols[0].Type.Nullable {
+		t.Fatal("pk col")
+	}
+	if s.Cols[1].Type.Nullable || !s.Cols[2].Type.Nullable {
+		t.Fatal("nullability")
+	}
+	s2 := mustParse(t, `CREATE TABLE v (x INT)`).(*CreateTableStmt)
+	if s2.Structure != "vectorwise" {
+		t.Fatal("default structure")
+	}
+}
+
+func TestParseDML(t *testing.T) {
+	ins := mustParse(t, `INSERT INTO t VALUES (1, 'a'), (2, 'b')`).(*InsertStmt)
+	if len(ins.Rows) != 2 || len(ins.Rows[1]) != 2 {
+		t.Fatal("insert values")
+	}
+	ins2 := mustParse(t, `INSERT INTO t SELECT * FROM u`).(*InsertStmt)
+	if ins2.Query == nil {
+		t.Fatal("insert select")
+	}
+	up := mustParse(t, `UPDATE t SET a = a + 1, b = 'x' WHERE id = 5`).(*UpdateStmt)
+	if len(up.Set) != 2 || up.Where == nil {
+		t.Fatal("update")
+	}
+	del := mustParse(t, `DELETE FROM t WHERE a < 0`).(*DeleteStmt)
+	if del.Where == nil {
+		t.Fatal("delete")
+	}
+	cp := mustParse(t, `COPY t FROM '/tmp/x.csv'`).(*CopyStmt)
+	if cp.Path != "/tmp/x.csv" {
+		t.Fatal("copy")
+	}
+}
+
+func TestParseMisc(t *testing.T) {
+	if _, ok := mustParse(t, `ANALYZE t`).(*AnalyzeStmt); !ok {
+		t.Fatal("analyze")
+	}
+	if _, ok := mustParse(t, `CHECKPOINT t`).(*CheckpointStmt); !ok {
+		t.Fatal("checkpoint")
+	}
+	ex := mustParse(t, `EXPLAIN SELECT 1`).(*ExplainStmt)
+	if _, ok := ex.Query.(*SelectStmt); !ok {
+		t.Fatal("explain")
+	}
+	if mustParse(t, `SHOW TABLES`).(*ShowStmt).What != "tables" {
+		t.Fatal("show tables")
+	}
+	if _, ok := mustParse(t, `DROP TABLE t`).(*DropTableStmt); !ok {
+		t.Fatal("drop")
+	}
+	s := mustParse(t, `SELECT * FROM t WITH (PARALLEL=4, VECTORSIZE=2048)`).(*SelectStmt)
+	if s.Parallel != 4 || s.VectorSize != 2048 {
+		t.Fatal("query options")
+	}
+}
+
+func TestParseSubqueries(t *testing.T) {
+	s := mustParse(t, `SELECT (SELECT MAX(v) FROM u), a FROM (SELECT a FROM t) sub`).(*SelectStmt)
+	if _, ok := s.Items[0].Expr.(*SubqueryExpr); !ok {
+		t.Fatal("scalar subquery")
+	}
+	if s.From[0].(*SubqueryTable).Alias != "sub" {
+		t.Fatal("derived table")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"SELECT",
+		"SELECT * FROM",
+		"SELECT * FROM t WHERE",
+		"CREATE TABLE t",
+		"INSERT INTO t",
+		"SELECT * FROM t LIMIT 'x'",
+		"SELECT 'unterminated",
+		"SELECT a FROM t GROUP",
+		"SELECT * FROM (SELECT 1)", // missing alias
+		"UPDATE t SET",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("accepted bad SQL: %q", src)
+		}
+	}
+}
+
+func TestParseAll(t *testing.T) {
+	stmts, err := ParseAll(`CREATE TABLE t (a INT); INSERT INTO t VALUES (1); SELECT * FROM t;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stmts) != 3 {
+		t.Fatalf("stmts: %d", len(stmts))
+	}
+}
+
+func TestLexerComments(t *testing.T) {
+	s := mustParse(t, "SELECT 1 -- a comment\n + 2").(*SelectStmt)
+	if s.Items[0].Expr.(*BinOp).Op != "+" {
+		t.Fatal("comment handling")
+	}
+}

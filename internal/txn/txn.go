@@ -1,0 +1,413 @@
+// Package txn layers snapshot-isolation transactions over Positional Delta
+// Trees, following the Vectorwise design the paper sketches ("Transactions
+// in Vectorwise are based on Positional Delta Trees; implementing full
+// transactional support ... was quite complicated"):
+//
+//   - the *stable* table (internal/colstore) is immutable,
+//   - the shared *read-PDT* holds all committed deltas since the last
+//     checkpoint,
+//   - each transaction gets a snapshot (stable + read-PDT clone) plus a
+//     private *write-PDT*; its own scans see stable ∘ snapshot ∘ write,
+//   - commit validates positionally (first-committer-wins on stable rows)
+//     and replays the write-PDT onto the shared read-PDT by stable SID,
+//   - a checkpoint merges the read-PDT into a new stable table in the
+//     background ("background update propagation").
+package txn
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"vectorwise/internal/colstore"
+	"vectorwise/internal/pdt"
+	"vectorwise/internal/types"
+	"vectorwise/internal/vec"
+)
+
+// ErrConflict is returned by Commit when a concurrent transaction committed
+// a change to a stable row this transaction also deleted or modified.
+var ErrConflict = errors.New("txn: write-write conflict")
+
+// ErrSnapshotTooOld is returned by Commit when a checkpoint rewrote the
+// stable table after this transaction's snapshot was taken.
+var ErrSnapshotTooOld = errors.New("txn: snapshot predates a checkpoint")
+
+// ErrClosed is returned when using a finished transaction.
+var ErrClosed = errors.New("txn: transaction already committed or aborted")
+
+// Store is one table's transactional state.
+type Store struct {
+	mu      sync.Mutex
+	stable  *colstore.Table
+	read    *pdt.PDT
+	seq     int64 // commit sequence
+	epoch   int64 // checkpoint epoch
+	commits []commitRecord
+	active  int
+}
+
+type commitRecord struct {
+	seq     int64
+	touched map[int64]struct{} // stable SIDs deleted or modified
+}
+
+// NewStore wraps a stable table.
+func NewStore(stable *colstore.Table) *Store {
+	return &Store{stable: stable, read: pdt.New()}
+}
+
+// Stable returns the current stable table (tests, checkpointing tools).
+func (s *Store) Stable() *colstore.Table {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stable
+}
+
+// Schema returns the table's physical schema.
+func (s *Store) Schema() *types.Schema { return s.Stable().Schema() }
+
+// Rows returns the committed image row count.
+func (s *Store) Rows() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.read.ImageRows(s.stable.Rows())
+}
+
+// PendingOps returns the committed-but-not-checkpointed delta count.
+func (s *Store) PendingOps() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.read.Len()
+}
+
+// Txn is one transaction over a Store. Not safe for concurrent use by
+// multiple goroutines (like a session).
+type Txn struct {
+	store      *Store
+	snapSeq    int64
+	snapEpoch  int64
+	snapStable *colstore.Table
+	snapRead   *pdt.PDT
+	write      *pdt.PDT
+	touched    map[int64]struct{} // stable SIDs deleted/modified
+	insOnly    bool               // no del/mod of non-stable rows seen
+	nonStable  bool               // touched a row inserted by another txn
+	done       bool
+}
+
+// Begin starts a transaction with a snapshot of the current image.
+func (s *Store) Begin() *Txn {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.active++
+	return &Txn{
+		store:      s,
+		snapSeq:    s.seq,
+		snapEpoch:  s.epoch,
+		snapStable: s.stable,
+		snapRead:   s.read.Clone(),
+		write:      pdt.New(),
+		touched:    make(map[int64]struct{}),
+	}
+}
+
+// Rows returns the row count visible to this transaction.
+func (t *Txn) Rows() int64 {
+	return t.write.ImageRows(t.snapRead.ImageRows(t.snapStable.Rows()))
+}
+
+// StableSnapshot exposes the stable table this transaction reads (for
+// delta-free fast paths such as partitioned parallel scans).
+func (t *Txn) StableSnapshot() *colstore.Table { return t.snapStable }
+
+// DeltaFree reports whether the snapshot image equals the stable table
+// (no committed or private deltas) — the precondition for scanning the
+// stable table directly.
+func (t *Txn) DeltaFree() bool { return t.snapRead.Len() == 0 && t.write.Len() == 0 }
+
+// Scan returns a positional batch source over the transaction's image:
+// stable table merged with the snapshot read-PDT merged with the private
+// write-PDT.
+func (t *Txn) Scan(cols []int, vecSize int, filters ...colstore.RangeFilter) (pdt.BatchSource, error) {
+	if t.done {
+		return nil, ErrClosed
+	}
+	full := make([]int, t.snapStable.Schema().Len())
+	for i := range full {
+		full[i] = i
+	}
+	// When deltas exist we must scan all columns (merges materialize whole
+	// rows) and block skipping must be disabled for correctness of
+	// positions; with no deltas we can scan the projection directly.
+	if t.snapRead.Len() == 0 && t.write.Len() == 0 {
+		return t.snapStable.NewScanner(cols, vecSize, filters...)
+	}
+	sc, err := t.snapStable.NewScanner(full, vecSize)
+	if err != nil {
+		return nil, err
+	}
+	m1 := pdt.NewMerger(sc, t.snapRead)
+	m2 := pdt.NewMerger(m1, t.write)
+	return &projectSource{src: m2, cols: cols}, nil
+}
+
+// projectSource narrows a full-width source to a projection.
+type projectSource struct {
+	src  pdt.BatchSource
+	cols []int
+	out  vec.Batch
+}
+
+func (p *projectSource) Kinds() []types.Kind {
+	all := p.src.Kinds()
+	out := make([]types.Kind, len(p.cols))
+	for i, c := range p.cols {
+		out[i] = all[c]
+	}
+	return out
+}
+
+func (p *projectSource) Next(b *vec.Batch) (int64, int, bool, error) {
+	if p.out.Vecs == nil {
+		p.out = *vec.NewBatch(p.src.Kinds(), 0)
+	}
+	start, n, done, err := p.src.Next(&p.out)
+	if err != nil || done {
+		return start, n, done, err
+	}
+	vecs := b.Vecs[:0]
+	for _, c := range p.cols {
+		vecs = append(vecs, p.out.Vecs[c])
+	}
+	b.Vecs = vecs
+	b.Sel = p.out.Sel
+	b.ForceLen(p.out.Full())
+	return start, n, false, nil
+}
+
+// InsertRow appends a row at the end of the transaction's image.
+func (t *Txn) InsertRow(row []types.Value) error {
+	if t.done {
+		return ErrClosed
+	}
+	return t.write.InsertAt(t.Rows(), row)
+}
+
+// InsertRowAt inserts a row at an arbitrary image position.
+func (t *Txn) InsertRowAt(rid int64, row []types.Value) error {
+	if t.done {
+		return ErrClosed
+	}
+	if rid < 0 || rid > t.Rows() {
+		return fmt.Errorf("txn: insert position %d out of range [0,%d]", rid, t.Rows())
+	}
+	return t.write.InsertAt(rid, row)
+}
+
+// DeleteAt deletes the row at image position rid.
+func (t *Txn) DeleteAt(rid int64) error {
+	if t.done {
+		return ErrClosed
+	}
+	if rid < 0 || rid >= t.Rows() {
+		return fmt.Errorf("txn: delete position %d out of range [0,%d)", rid, t.Rows())
+	}
+	t.recordTouch(rid)
+	return t.write.DeleteAt(rid)
+}
+
+// UpdateAt modifies one column of the row at image position rid.
+func (t *Txn) UpdateAt(rid int64, col int, v types.Value) error {
+	if t.done {
+		return ErrClosed
+	}
+	if rid < 0 || rid >= t.Rows() {
+		return fmt.Errorf("txn: update position %d out of range [0,%d)", rid, t.Rows())
+	}
+	if col < 0 || col >= t.snapStable.Schema().Len() {
+		return fmt.Errorf("txn: column %d out of range", col)
+	}
+	t.recordTouch(rid)
+	return t.write.ModifyAt(rid, col, v)
+}
+
+// recordTouch maps an image position to its stable SID for conflict
+// validation. Rows not backed by stable storage (inserted by this txn or a
+// concurrently committed one) are tracked via the nonStable flag.
+func (t *Txn) recordTouch(rid int64) {
+	snapPos, insertedByMe := t.write.Resolve(rid)
+	if insertedByMe {
+		return // own insert: no conflict possible
+	}
+	sid, insertedBelow := t.snapRead.Resolve(snapPos)
+	if insertedBelow {
+		t.nonStable = true // committed insert: positional rebase unsafe
+		return
+	}
+	t.touched[sid] = struct{}{}
+}
+
+// Abort discards the transaction.
+func (t *Txn) Abort() {
+	if t.done {
+		return
+	}
+	t.done = true
+	t.store.mu.Lock()
+	t.store.active--
+	t.store.mu.Unlock()
+}
+
+// Commit validates and publishes the transaction's writes.
+func (t *Txn) Commit() error {
+	if t.done {
+		return ErrClosed
+	}
+	s := t.store
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t.done = true
+	s.active--
+	if t.write.Len() == 0 {
+		return nil // read-only
+	}
+	if t.snapEpoch != s.epoch {
+		return ErrSnapshotTooOld
+	}
+	intervening := s.seq > t.snapSeq
+	if t.nonStable && intervening {
+		// We touched a row that exists only in the read-PDT; concurrent
+		// commits may have shifted it, so positional replay is unsafe.
+		return ErrConflict
+	}
+	if intervening {
+		for _, rec := range s.commits {
+			if rec.seq <= t.snapSeq {
+				continue
+			}
+			for sid := range t.touched {
+				if _, clash := rec.touched[sid]; clash {
+					return ErrConflict
+				}
+			}
+		}
+	}
+	// Publish: replay the write-PDT onto the shared read-PDT. Positions in
+	// the write-PDT are relative to the snapshot image; map each op to its
+	// stable anchor (invariant under concurrent commits) and replay by SID.
+	if !intervening {
+		// Fast path: nothing moved since the snapshot; positional replay
+		// is exact (and preserves intra-anchor insert order).
+		if err := pdt.Propagate(s.read, t.write); err != nil {
+			return err
+		}
+	} else {
+		if err := t.replayBySID(); err != nil {
+			return err
+		}
+	}
+	s.seq++
+	if len(t.touched) > 0 {
+		s.commits = append(s.commits, commitRecord{seq: s.seq, touched: t.touched})
+	}
+	return nil
+}
+
+// replayBySID re-anchors every write op at its stable SID and applies it to
+// the current read-PDT. Called only when no op touches non-stable rows.
+func (t *Txn) replayBySID() error {
+	shift := int64(0) // adjustment of snapshot positions by earlier ops
+	for _, op := range t.write.Ops() {
+		snapPos := op.SID + shift
+		switch op.Kind {
+		case pdt.OpIns:
+			sid, _ := t.snapRead.Resolve(snapPos)
+			t.store.read.InsertAtSID(sid, op.Row)
+			shift++
+		case pdt.OpDel:
+			sid, inserted := t.snapRead.Resolve(snapPos)
+			if inserted {
+				return ErrConflict // guarded by nonStable, defensive
+			}
+			if err := t.store.read.DeleteAtSID(sid); err != nil {
+				return fmt.Errorf("%w (%v)", ErrConflict, err)
+			}
+			shift--
+		case pdt.OpMod:
+			sid, inserted := t.snapRead.Resolve(snapPos)
+			if inserted {
+				return ErrConflict
+			}
+			for c, v := range op.Mods {
+				if err := t.store.read.ModifyAtSID(sid, c, v); err != nil {
+					return fmt.Errorf("%w (%v)", ErrConflict, err)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Checkpoint merges the committed read-PDT into a fresh stable table (the
+// paper's background update propagation). Active transactions keep reading
+// their snapshots; they fail with ErrSnapshotTooOld if they later try to
+// commit writes.
+func (s *Store) Checkpoint() error {
+	s.mu.Lock()
+	if s.read.Len() == 0 {
+		s.mu.Unlock()
+		return nil
+	}
+	stable := s.stable
+	// Deep-copy the delta snapshot: commits arriving during the rebuild
+	// mutate read-PDT nodes in place.
+	ops := s.read.Clone().Ops()
+	seqAtStart := s.seq
+	s.mu.Unlock()
+
+	// Rebuild outside the lock from an immutable snapshot.
+	full := make([]int, stable.Schema().Len())
+	for i := range full {
+		full[i] = i
+	}
+	sc, err := stable.NewScanner(full, vec.DefaultSize)
+	if err != nil {
+		return err
+	}
+	merged := pdt.NewMergerOps(sc, ops)
+	fresh := colstore.NewTable(stable.Schema())
+	ap := fresh.NewAppender()
+	b := vec.NewBatch(merged.Kinds(), 0)
+	for {
+		_, _, done, err := merged.Next(b)
+		if err != nil {
+			return err
+		}
+		if done {
+			break
+		}
+		if err := ap.AppendBatch(b); err != nil {
+			return err
+		}
+	}
+	if err := ap.Close(); err != nil {
+		return err
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// Commits that landed while we rebuilt would be lost; retry covers the
+	// race. (Vectorwise overlaps these; we keep the simple retry variant.)
+	if s.seq != seqAtStart {
+		s.mu.Unlock()
+		err := s.Checkpoint()
+		s.mu.Lock()
+		return err
+	}
+	s.stable = fresh
+	s.read = pdt.New()
+	s.epoch++
+	s.commits = nil
+	return nil
+}
