@@ -1,6 +1,7 @@
 // vwsql is an interactive SQL shell over the engine: type statements
 // terminated by ';', or pipe a script on stdin. Meta commands: \q quits,
-// \events dumps the monitor's event log.
+// \events dumps the monitor's event log, \plan [id] shows the physical
+// plan a query ran with (most recent when id is omitted).
 package main
 
 import (
@@ -9,10 +10,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
 	"vectorwise/internal/engine"
+	"vectorwise/internal/monitor"
 )
 
 func main() {
@@ -38,13 +41,16 @@ func main() {
 		line := scanner.Text()
 		trimmed := strings.TrimSpace(line)
 		if buf.Len() == 0 && strings.HasPrefix(trimmed, "\\") {
-			switch trimmed {
+			fields := strings.Fields(trimmed)
+			switch fields[0] {
 			case "\\q", "\\quit":
 				return
 			case "\\events":
 				for _, ev := range db.Monitor.Events() {
 					fmt.Printf("%s  %-14s %s\n", ev.Time.Format("15:04:05.000"), ev.Kind, ev.Msg)
 				}
+			case "\\plan":
+				showPlan(db, fields[1:])
 			default:
 				fmt.Println("unknown meta command:", trimmed)
 			}
@@ -79,6 +85,43 @@ func main() {
 			fmt.Print("vw> ")
 		}
 	}
+}
+
+// showPlan prints the physical plan recorded for a query: by monitor ID
+// when given, otherwise the most recently finished query's.
+func showPlan(db *engine.DB, args []string) {
+	history := db.Monitor.History()
+	if len(args) > 0 {
+		id, err := strconv.ParseInt(args[0], 10, 64)
+		if err != nil {
+			fmt.Println("usage: \\plan [query-id]")
+			return
+		}
+		for _, qi := range append(history, db.Monitor.Active()...) {
+			if qi.ID == id {
+				printPlan(qi)
+				return
+			}
+		}
+		fmt.Printf("no query %d in monitor history\n", id)
+		return
+	}
+	for i := len(history) - 1; i >= 0; i-- {
+		if history[i].Plan != "" {
+			printPlan(history[i])
+			return
+		}
+	}
+	fmt.Println("no planned queries yet")
+}
+
+func printPlan(qi monitor.QueryInfo) {
+	fmt.Printf("q%d [%s]: %s\n", qi.ID, qi.Status, qi.SQL)
+	if qi.Plan == "" {
+		fmt.Println("(no physical plan recorded)")
+		return
+	}
+	fmt.Print(qi.Plan)
 }
 
 func isTerminal() bool {

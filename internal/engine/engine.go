@@ -343,20 +343,7 @@ func coerceValue(v types.Value, t types.T) (types.Value, error) {
 // logicalToPhysicalRow decomposes a logical row per the storage convention
 // (values then indicators).
 func logicalToPhysicalRow(logical *types.Schema, row []types.Value) []types.Value {
-	out := make([]types.Value, 0, len(row)+4)
-	for i, v := range row {
-		if v.Null {
-			out = append(out, types.SafeValue(logical.Cols[i].Type.Kind))
-		} else {
-			out = append(out, v)
-		}
-	}
-	for i, c := range logical.Cols {
-		if c.Type.Nullable {
-			out = append(out, types.NewBool(row[i].Null))
-		}
-	}
-	return out
+	return rewriter.DecomposeRow(logical, row)
 }
 
 // physicalToLogicalRow reassembles NULLs from a physical row.

@@ -276,10 +276,49 @@ func TestHeapTableEndToEnd(t *testing.T) {
 func TestExplainShowsPipeline(t *testing.T) {
 	db := itemsDB(t)
 	res := mustExec(t, db, `EXPLAIN SELECT grp, COUNT(*) FROM items WHERE id > 10 GROUP BY grp`)
-	for _, want := range []string{"logical plan", "optimized plan", "X100 algebra", "Scan('items'", "Aggr"} {
+	for _, want := range []string{"logical plan", "optimized plan", "X100 algebra", "Scan('items'", "Aggr", "physical plan", "HashAgg"} {
 		if !strings.Contains(res.Text, want) {
 			t.Fatalf("explain missing %q:\n%s", want, res.Text)
 		}
+	}
+}
+
+func TestExplainPhysical(t *testing.T) {
+	db := itemsDB(t)
+	res := mustExec(t, db, `EXPLAIN PHYSICAL SELECT grp, COUNT(*) FROM items WHERE id > 10 GROUP BY grp`)
+	for _, want := range []string{"== physical plan ==", "Scan('items'", "HashAgg", "Select(", ":: ["} {
+		if !strings.Contains(res.Text, want) {
+			t.Fatalf("explain physical missing %q:\n%s", want, res.Text)
+		}
+	}
+	if strings.Contains(res.Text, "logical plan") {
+		t.Fatalf("EXPLAIN PHYSICAL should render only the physical DAG:\n%s", res.Text)
+	}
+	// The heap structure lowers to a HeapScan node.
+	mustExec(t, db, `CREATE TABLE hp (k BIGINT NOT NULL) WITH STRUCTURE=HEAP`)
+	res = mustExec(t, db, `EXPLAIN PHYSICAL SELECT k FROM hp`)
+	if !strings.Contains(res.Text, "HeapScan('hp'") {
+		t.Fatalf("heap table should plan a HeapScan:\n%s", res.Text)
+	}
+}
+
+func TestProfileRendersOperatorStats(t *testing.T) {
+	db := itemsDB(t)
+	res := mustExec(t, db, `PROFILE SELECT grp, COUNT(*) FROM items GROUP BY grp`)
+	for _, want := range []string{"== execution ==", "== operator profile ==", "rows=", "batches="} {
+		if !strings.Contains(res.Text, want) {
+			t.Fatalf("profile missing %q:\n%s", want, res.Text)
+		}
+	}
+}
+
+func TestMonitorRecordsPhysicalPlan(t *testing.T) {
+	db := itemsDB(t)
+	mustExec(t, db, `SELECT COUNT(*) FROM items`)
+	hist := db.Monitor.History()
+	last := hist[len(hist)-1]
+	if !strings.Contains(last.Plan, "HashAgg") || !strings.Contains(last.Plan, "Scan('items'") {
+		t.Fatalf("monitor plan not attached: %q", last.Plan)
 	}
 }
 

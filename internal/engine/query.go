@@ -9,26 +9,28 @@ import (
 	"vectorwise/internal/expr"
 	"vectorwise/internal/optimizer"
 	"vectorwise/internal/pdt"
+	"vectorwise/internal/physical"
 	"vectorwise/internal/plan"
 	"vectorwise/internal/rewriter"
 	"vectorwise/internal/rowengine"
 	"vectorwise/internal/sql"
 	"vectorwise/internal/txn"
-	"vectorwise/internal/types"
 	"vectorwise/internal/vec"
 	"vectorwise/internal/xcompile"
 )
 
-// compiled carries a query through the Figure-1 pipeline stages.
+// compiled carries a query through the Figure-1 pipeline stages (the
+// pre-rewrite algebra lives on through rw.Node's provenance; only the
+// stages EXPLAIN renders are retained).
 type compiled struct {
 	logical   plan.Node
 	optimized plan.Node
-	alg       algebra.Node
 	rw        *rewriter.Result
+	phys      physical.Node
 }
 
 // compileSelect runs parser output through binder → optimizer → cross
-// compiler → rewriter.
+// compiler → rewriter → physical-plan builder.
 func (db *DB) compileSelect(s *sql.SelectStmt) (*compiled, error) {
 	b := db.binder()
 	logical, err := b.BindSelect(s)
@@ -54,7 +56,11 @@ func (db *DB) compileSelect(s *sql.SelectStmt) (*compiled, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &compiled{logical: logical, optimized: optimized, alg: alg, rw: rw}, nil
+	phys, err := physical.Build(rw.Node, db)
+	if err != nil {
+		return nil, err
+	}
+	return &compiled{logical: logical, optimized: optimized, rw: rw, phys: phys}, nil
 }
 
 // partsAvailable reports how many row-group partitions a table offers for
@@ -74,13 +80,29 @@ func (db *DB) partsAvailable(table string) int {
 	return blocks
 }
 
+// PhysicalTable implements physical.Catalog.
+func (db *DB) PhysicalTable(name string) (*physical.TableInfo, error) {
+	e, err := db.entry(name)
+	if err != nil {
+		return nil, err
+	}
+	info := &physical.TableInfo{Structure: e.meta.Structure, Logical: e.meta.Schema}
+	if e.store != nil {
+		info.Physical = e.store.Schema()
+	} else {
+		info.Physical = rewriter.PhysicalSchema(e.meta.Schema)
+	}
+	return info, nil
+}
+
 func (db *DB) execSelect(ctx context.Context, s *sql.SelectStmt, text string) (*Result, error) {
 	c, err := db.compileSelect(s)
 	if err != nil {
 		return nil, err
 	}
 	qi, qctx := db.Monitor.StartQuery(ctx, text)
-	res, err := db.runCompiled(qctx, c, s)
+	db.Monitor.AttachPlan(qi, physical.Format(c.phys))
+	res, _, err := db.runCompiled(qctx, c, s, false)
 	var rows int64
 	if res != nil {
 		rows = int64(len(res.Rows))
@@ -89,32 +111,35 @@ func (db *DB) execSelect(ctx context.Context, s *sql.SelectStmt, text string) (*
 	return res, err
 }
 
-func (db *DB) runCompiled(ctx context.Context, c *compiled, s *sql.SelectStmt) (*Result, error) {
+// runCompiled instantiates the physical plan and drains it; the returned
+// instance carries per-operator counters when profile is set.
+func (db *DB) runCompiled(ctx context.Context, c *compiled, s *sql.SelectStmt, profile bool) (*Result, *physical.Instance, error) {
 	// Snapshot transactions per vectorwise table (consistent reads).
 	session := newQuerySession(db)
 	defer session.close()
-	root, err := session.build(c.rw.Node)
+	inst, err := physical.Instantiate(c.phys, session)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	ectx := exec.NewCtx(ctx)
 	ectx.Mode = expr.Mode{Checked: true}
+	ectx.Profile = profile
 	if db.VectorSize > 0 {
 		ectx.VecSize = db.VectorSize
 	}
 	if s != nil && s.VectorSize > 0 {
 		ectx.VecSize = s.VectorSize
 	}
-	physRows, err := exec.Collect(ectx, root)
+	physRows, err := exec.Collect(ectx, inst.Root)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	logical := c.rw.Logical
 	res := &Result{Cols: logical.Names()}
 	for _, pr := range physRows {
 		res.Rows = append(res.Rows, physicalToLogicalRow(logical, c.rw.ColMap, pr))
 	}
-	return res, nil
+	return res, inst, nil
 }
 
 func (db *DB) execExplain(ctx context.Context, s *sql.ExplainStmt) (*Result, error) {
@@ -126,15 +151,22 @@ func (db *DB) execExplain(ctx context.Context, s *sql.ExplainStmt) (*Result, err
 	if err != nil {
 		return nil, err
 	}
-	text := "== logical plan ==\n" + plan.Format(c.logical) +
-		"== optimized plan ==\n" + plan.Format(c.optimized) +
-		"== X100 algebra (after rewriter) ==\n" + algebra.Format(c.rw.Node)
+	var text string
+	if s.Physical {
+		text = "== physical plan ==\n" + physical.Format(c.phys)
+	} else {
+		text = "== logical plan ==\n" + plan.Format(c.logical) +
+			"== optimized plan ==\n" + plan.Format(c.optimized) +
+			"== X100 algebra (after rewriter) ==\n" + algebra.Format(c.rw.Node) +
+			"== physical plan ==\n" + physical.Format(c.phys)
+	}
 	if s.Profile {
-		res, err := db.runCompiled(ctx, c, sel)
+		res, inst, err := db.runCompiled(ctx, c, sel, true)
 		if err != nil {
 			return nil, err
 		}
 		text += fmt.Sprintf("== execution ==\n%d rows\n", len(res.Rows))
+		text += "== operator profile ==\n" + inst.RenderProfile()
 	}
 	return &Result{Text: text}, nil
 }
@@ -148,6 +180,8 @@ func newBatchFor(src pdt.BatchSource) *vec.Batch {
 }
 
 // querySession owns per-query snapshots of every vectorwise table touched.
+// It implements physical.Env, supplying operator factories with storage
+// handles bound to those snapshots.
 type querySession struct {
 	db  *DB
 	txs map[string]*txn.Txn
@@ -179,242 +213,29 @@ func (qs *querySession) txFor(table string) (*txn.Txn, error) {
 	return tx, nil
 }
 
-// build instantiates kernel operators from physical algebra.
-func (qs *querySession) build(n algebra.Node) (exec.Operator, error) {
-	switch t := n.(type) {
-	case *algebra.Scan:
-		return qs.buildScan(t)
-	case *algebra.Values:
-		return exec.NewValues(t.Out, t.Rows), nil
-	case *algebra.Select:
-		child, err := qs.build(t.Child)
-		if err != nil {
-			return nil, err
-		}
-		return exec.NewSelect(child, t.Pred), nil
-	case *algebra.Project:
-		child, err := qs.build(t.Child)
-		if err != nil {
-			return nil, err
-		}
-		return exec.NewProject(child, t.Exprs), nil
-	case *algebra.Aggr:
-		child, err := qs.build(t.Child)
-		if err != nil {
-			return nil, err
-		}
-		aggs := make([]exec.AggSpec, len(t.Aggs))
-		for i, a := range t.Aggs {
-			fn, err := aggFn(a.Fn)
-			if err != nil {
-				return nil, err
-			}
-			aggs[i] = exec.AggSpec{Fn: fn, Col: a.Col}
-		}
-		return exec.NewHashAgg(child, t.GroupCols, aggs)
-	case *algebra.HashJoin:
-		left, err := qs.build(t.Left)
-		if err != nil {
-			return nil, err
-		}
-		right, err := qs.build(t.Right)
-		if err != nil {
-			return nil, err
-		}
-		var jt exec.JoinType
-		switch t.Kind {
-		case algebra.Inner:
-			jt = exec.Inner
-		case algebra.LeftOuter:
-			jt = exec.LeftOuter
-		case algebra.Semi:
-			jt = exec.Semi
-		case algebra.Anti:
-			jt = exec.Anti
-		case algebra.AntiNullAware:
-			jt = exec.AntiNullAware
-		}
-		hj := exec.NewHashJoin(left, right, t.LeftKeys, t.RightKeys, jt)
-		hj.LeftKeyNull = t.LeftKeyNull
-		hj.RightKeyNull = t.RightKeyNull
-		return hj, nil
-	case *algebra.Sort:
-		child, err := qs.build(t.Child)
-		if err != nil {
-			return nil, err
-		}
-		keys := make([]exec.SortKey, len(t.Keys))
-		for i, k := range t.Keys {
-			keys[i] = exec.SortKey{Col: k.Col, Desc: k.Desc}
-		}
-		return exec.NewSort(child, keys), nil
-	case *algebra.TopN:
-		child, err := qs.build(t.Child)
-		if err != nil {
-			return nil, err
-		}
-		keys := make([]exec.SortKey, len(t.Keys))
-		for i, k := range t.Keys {
-			keys[i] = exec.SortKey{Col: k.Col, Desc: k.Desc}
-		}
-		return exec.NewTopN(child, keys, int(t.N)), nil
-	case *algebra.Limit:
-		child, err := qs.build(t.Child)
-		if err != nil {
-			return nil, err
-		}
-		return exec.NewLimit(child, t.Offset, t.N), nil
-	case *algebra.UnionAll:
-		kids := make([]exec.Operator, len(t.Kids))
-		for i, k := range t.Kids {
-			c, err := qs.build(k)
-			if err != nil {
-				return nil, err
-			}
-			kids[i] = c
-		}
-		return exec.NewUnion(kids...)
-	case *algebra.XchgUnion:
-		kids := make([]exec.Operator, len(t.Kids))
-		for i, k := range t.Kids {
-			c, err := qs.build(k)
-			if err != nil {
-				return nil, err
-			}
-			kids[i] = c
-		}
-		return exec.NewXchgUnion(kids...), nil
-	}
-	return nil, fmt.Errorf("engine: cannot build %T", n)
-}
-
-func aggFn(fn string) (exec.AggFn, error) {
-	switch fn {
-	case "count":
-		return exec.AggCount, nil
-	case "sum":
-		return exec.AggSum, nil
-	case "min":
-		return exec.AggMin, nil
-	case "max":
-		return exec.AggMax, nil
-	case "avg":
-		return exec.AggAvg, nil
-	}
-	return 0, fmt.Errorf("engine: aggregate %q", fn)
-}
-
-// buildScan produces the positional source for a table scan.
-func (qs *querySession) buildScan(t *algebra.Scan) (exec.Operator, error) {
-	e, err := qs.db.entry(t.Table)
+// Heap implements physical.Env.
+func (qs *querySession) Heap(table string) (*rowengine.HeapTable, error) {
+	e, err := qs.db.entry(table)
 	if err != nil {
 		return nil, err
 	}
-	kinds := make([]types.Kind, len(t.Cols))
-	if e.heap != nil {
-		// Classic table scanned into the vectorized pipeline.
-		phys := rewriter.PhysicalSchema(e.meta.Schema)
-		idxs := make([]int, len(t.Cols))
-		for i, name := range t.Cols {
-			idx := phys.Find(name)
-			if idx < 0 {
-				return nil, fmt.Errorf("engine: heap table %s has no column %q", t.Table, name)
-			}
-			idxs[i] = idx
-			kinds[i] = phys.Cols[idx].Type.Kind
-		}
-		return newHeapScan(e.heap, e.meta.Schema, idxs, kinds), nil
+	if e.heap == nil {
+		return nil, fmt.Errorf("engine: %q is not a heap table", table)
 	}
-	physSchema := e.store.Schema()
-	idxs := make([]int, len(t.Cols))
-	for i, name := range t.Cols {
-		idx := physSchema.Find(name)
-		if idx < 0 {
-			return nil, fmt.Errorf("engine: table %s has no column %q", t.Table, name)
-		}
-		idxs[i] = idx
-		kinds[i] = physSchema.Cols[idx].Type.Kind
-	}
-	table := t.Table
-	part, parts := t.Part, t.Parts
-	return exec.NewColScan(kinds, func(vecSize int) (pdt.BatchSource, error) {
-		tx, err := qs.txFor(table)
-		if err != nil {
-			return nil, err
-		}
-		if parts > 1 {
-			if !tx.DeltaFree() {
-				return nil, fmt.Errorf("engine: partitioned scan of %s with pending deltas", table)
-			}
-			return tx.StableSnapshot().NewScannerPart(idxs, vecSize, part, parts)
-		}
-		return tx.Scan(idxs, vecSize)
-	}), nil
+	return e.heap, nil
 }
 
-// heapScanOp adapts a heap table into batches of physical (decomposed)
-// columns so classic tables participate in vectorized plans.
-type heapScanOp struct {
-	heap    *rowengine.HeapTable
-	logical *types.Schema
-	idxs    []int // physical column indexes to produce
-	kinds   []types.Kind
-	cm      rewriter.ColMap
-
-	ctx  *exec.Ctx
-	rows [][]types.Value // logical row snapshot
-	at   int
-	buf  *vec.Batch
-}
-
-func newHeapScan(h *rowengine.HeapTable, logical *types.Schema, idxs []int, kinds []types.Kind) exec.Operator {
-	return &heapScanOp{heap: h, logical: logical, idxs: idxs, kinds: kinds,
-		cm: rewriter.PhysicalColMap(logical)}
-}
-
-// Kinds implements exec.Operator.
-func (h *heapScanOp) Kinds() []types.Kind { return h.kinds }
-
-// Open implements exec.Operator: snapshots the heap (classic engines
-// typically latch pages; a snapshot keeps the adapter simple).
-func (h *heapScanOp) Open(ctx *exec.Ctx) error {
-	h.ctx = ctx
-	h.at = 0
-	h.rows = h.rows[:0]
-	h.buf = vec.NewBatch(h.kinds, ctx.VecSize)
-	if h.buf.Vecs[0].Cap() == 0 {
-		h.buf = vec.NewBatch(h.kinds, vec.DefaultSize)
-	}
-	return h.heap.ScanFunc(func(_ rowengine.RowID, row []types.Value) bool {
-		h.rows = append(h.rows, row)
-		return true
-	})
-}
-
-// Next implements exec.Operator.
-func (h *heapScanOp) Next() (*vec.Batch, error) {
-	if err := h.ctx.Ctx.Err(); err != nil {
+// ScanSource implements physical.Env.
+func (qs *querySession) ScanSource(table string, cols []int, part, parts, vecSize int) (pdt.BatchSource, error) {
+	tx, err := qs.txFor(table)
+	if err != nil {
 		return nil, err
 	}
-	if h.at >= len(h.rows) {
-		return nil, nil
-	}
-	n := h.buf.Vecs[0].Cap()
-	if rem := len(h.rows) - h.at; n > rem {
-		n = rem
-	}
-	h.buf.Reset()
-	h.buf.SetLen(n)
-	for i := 0; i < n; i++ {
-		row := h.rows[h.at+i]
-		phys := logicalToPhysicalRow(h.logical, row)
-		for c, pi := range h.idxs {
-			h.buf.Vecs[c].Set(i, phys[pi])
+	if parts > 1 {
+		if !tx.DeltaFree() {
+			return nil, fmt.Errorf("engine: partitioned scan of %s with pending deltas", table)
 		}
+		return tx.StableSnapshot().NewScannerPart(cols, vecSize, part, parts)
 	}
-	h.at += n
-	return h.buf, nil
+	return tx.Scan(cols, vecSize)
 }
-
-// Close implements exec.Operator.
-func (h *heapScanOp) Close() {}

@@ -1,0 +1,129 @@
+package iosim
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+// A zero-latency disk still accounts reads and bytes exactly.
+func TestStatsAccounting(t *testing.T) {
+	d := NewDisk(0, 0)
+	ctx := context.Background()
+	sizes := []int{100, 4096, 0, 1 << 20}
+	var wantBytes int64
+	for _, sz := range sizes {
+		if err := d.Read(ctx, sz); err != nil {
+			t.Fatalf("read %d: %v", sz, err)
+		}
+		wantBytes += int64(sz)
+	}
+	reads, bytes, busy := d.Stats()
+	if reads != int64(len(sizes)) {
+		t.Fatalf("reads = %d, want %d", reads, len(sizes))
+	}
+	if bytes != wantBytes {
+		t.Fatalf("bytes = %d, want %d", bytes, wantBytes)
+	}
+	if busy != 0 {
+		t.Fatalf("infinitely fast disk reported busy = %v", busy)
+	}
+	d.ResetStats()
+	if reads, bytes, busy := d.Stats(); reads != 0 || bytes != 0 || busy != 0 {
+		t.Fatalf("reset left counters: %d %d %v", reads, bytes, busy)
+	}
+}
+
+// Busy time follows the latency model: seek + size/bandwidth per request,
+// so read sizing (few large vs many small reads) changes the accounted
+// cost the way a real device's would.
+func TestLatencyModelAndReadSizing(t *testing.T) {
+	const seek = 10 * time.Millisecond
+	const bandwidth = 1 << 20 // 1 MiB/s → 1 µs per byte
+	d := NewDisk(seek, bandwidth)
+	ctx := context.Background()
+
+	// One large read: one seek + transfer of the full payload, using the
+	// same truncating per-byte cost the disk derives from the bandwidth.
+	bw := float64(bandwidth)
+	perByte := time.Duration(float64(time.Second) / bw)
+	if err := d.Read(ctx, 1024); err != nil {
+		t.Fatal(err)
+	}
+	_, _, busyLarge := d.Stats()
+	wantLarge := seek + 1024*perByte
+	if busyLarge != wantLarge {
+		t.Fatalf("large-read busy = %v, want %v", busyLarge, wantLarge)
+	}
+
+	// The same payload in 4 small reads pays 4 seeks: strictly slower.
+	d.ResetStats()
+	for i := 0; i < 4; i++ {
+		if err := d.Read(ctx, 256); err != nil {
+			t.Fatal(err)
+		}
+	}
+	reads, bytes, busySmall := d.Stats()
+	if reads != 4 || bytes != 1024 {
+		t.Fatalf("small reads accounted %d reads / %d bytes", reads, bytes)
+	}
+	if want := busyLarge + 3*seek; busySmall != want {
+		t.Fatalf("small-read busy = %v, want %v", busySmall, want)
+	}
+}
+
+// Reads serialize on the single arm: total busy time is the sum of the
+// per-request durations even under concurrent callers, and wall time is at
+// least the busy time.
+func TestSerializedArm(t *testing.T) {
+	const seek = 2 * time.Millisecond
+	d := NewDisk(seek, 0)
+	ctx := context.Background()
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < 5; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := d.Read(ctx, 1); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if _, _, busy := d.Stats(); busy != 5*seek {
+		t.Fatalf("busy = %v, want %v", busy, 5*seek)
+	}
+	if elapsed < 5*seek {
+		t.Fatalf("concurrent reads finished in %v, want ≥ %v (arm must serialize)", elapsed, 5*seek)
+	}
+}
+
+// Cancellation interrupts a simulated transfer promptly and is visible to
+// callers as the context error.
+func TestReadCancellation(t *testing.T) {
+	d := NewDisk(10*time.Second, 0)
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	go func() { errCh <- d.Read(ctx, 1) }()
+	time.Sleep(5 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-errCh:
+		if err != context.Canceled {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancelled read did not return")
+	}
+	// An already-cancelled context fails fast without touching the arm.
+	reads0, _, _ := d.Stats()
+	if err := d.Read(ctx, 1); err != context.Canceled {
+		t.Fatalf("pre-cancelled read: %v", err)
+	}
+	if reads, _, _ := d.Stats(); reads != reads0 {
+		t.Fatal("pre-cancelled read was accounted")
+	}
+}

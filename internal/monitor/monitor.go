@@ -54,6 +54,9 @@ type QueryInfo struct {
 	Status   QueryStatus
 	Rows     int64
 	Err      string
+	// Plan is the rendered physical plan the engine attaches before
+	// execution (empty for statements that bypass the vectorized kernel).
+	Plan string
 
 	cancel context.CancelFunc
 }
@@ -112,6 +115,14 @@ func (m *Monitor) StartQuery(ctx context.Context, sql string) (*QueryInfo, conte
 	m.active[qi.ID] = qi
 	m.logLocked(EvQueryStart, "q%d: %s", qi.ID, truncate(sql, 80))
 	return qi, cctx
+}
+
+// AttachPlan records the query's rendered physical plan so SHOW/shell
+// inspection can display what actually ran.
+func (m *Monitor) AttachPlan(qi *QueryInfo, plan string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	qi.Plan = plan
 }
 
 // FinishQuery records the outcome.

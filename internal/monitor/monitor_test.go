@@ -28,6 +28,19 @@ func TestQueryLifecycle(t *testing.T) {
 	}
 }
 
+func TestAttachPlan(t *testing.T) {
+	m := New(16)
+	qi, _ := m.StartQuery(context.Background(), "SELECT 1")
+	m.AttachPlan(qi, "Scan('t')\n")
+	if act := m.Active(); len(act) != 1 || act[0].Plan != "Scan('t')\n" {
+		t.Fatalf("active plan: %+v", act)
+	}
+	m.FinishQuery(qi, 1, nil)
+	if h := m.History(); len(h) != 1 || h[0].Plan != "Scan('t')\n" {
+		t.Fatalf("history plan: %+v", h)
+	}
+}
+
 func TestCancel(t *testing.T) {
 	m := New(16)
 	qi, ctx := m.StartQuery(context.Background(), "SELECT long")

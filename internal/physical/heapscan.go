@@ -1,0 +1,74 @@
+package physical
+
+import (
+	"vectorwise/internal/exec"
+	"vectorwise/internal/rewriter"
+	"vectorwise/internal/rowengine"
+	"vectorwise/internal/types"
+	"vectorwise/internal/vec"
+)
+
+// heapScanOp adapts a heap table into batches of physical (decomposed)
+// columns so classic tables participate in vectorized plans.
+type heapScanOp struct {
+	heap    *rowengine.HeapTable
+	logical *types.Schema
+	idxs    []int // physical column indexes to produce
+	kinds   []types.Kind
+
+	ctx  *exec.Ctx
+	rows [][]types.Value // logical row snapshot
+	at   int
+	buf  *vec.Batch
+}
+
+func newHeapScan(h *rowengine.HeapTable, logical *types.Schema, idxs []int, kinds []types.Kind) exec.Operator {
+	return &heapScanOp{heap: h, logical: logical, idxs: idxs, kinds: kinds}
+}
+
+// Kinds implements exec.Operator.
+func (h *heapScanOp) Kinds() []types.Kind { return h.kinds }
+
+// Open implements exec.Operator: snapshots the heap (classic engines
+// typically latch pages; a snapshot keeps the adapter simple).
+func (h *heapScanOp) Open(ctx *exec.Ctx) error {
+	h.ctx = ctx
+	h.at = 0
+	h.rows = h.rows[:0]
+	h.buf = vec.NewBatch(h.kinds, ctx.VecSize)
+	if h.buf.Vecs[0].Cap() == 0 {
+		h.buf = vec.NewBatch(h.kinds, vec.DefaultSize)
+	}
+	return h.heap.ScanFunc(func(_ rowengine.RowID, row []types.Value) bool {
+		h.rows = append(h.rows, row)
+		return true
+	})
+}
+
+// Next implements exec.Operator.
+func (h *heapScanOp) Next() (*vec.Batch, error) {
+	if err := h.ctx.Ctx.Err(); err != nil {
+		return nil, err
+	}
+	if h.at >= len(h.rows) {
+		return nil, nil
+	}
+	n := h.buf.Vecs[0].Cap()
+	if rem := len(h.rows) - h.at; n > rem {
+		n = rem
+	}
+	h.buf.Reset()
+	h.buf.SetLen(n)
+	for i := 0; i < n; i++ {
+		row := h.rows[h.at+i]
+		phys := rewriter.DecomposeRow(h.logical, row)
+		for c, pi := range h.idxs {
+			h.buf.Vecs[c].Set(i, phys[pi])
+		}
+	}
+	h.at += n
+	return h.buf, nil
+}
+
+// Close implements exec.Operator.
+func (h *heapScanOp) Close() {}

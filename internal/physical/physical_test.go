@@ -1,0 +1,232 @@
+package physical
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+
+	"vectorwise/internal/algebra"
+	"vectorwise/internal/exec"
+	"vectorwise/internal/expr"
+	"vectorwise/internal/pdt"
+	"vectorwise/internal/rowengine"
+	"vectorwise/internal/types"
+)
+
+// fixtureCatalog serves one table description.
+type fixtureCatalog struct {
+	name string
+	info *TableInfo
+}
+
+func (c *fixtureCatalog) PhysicalTable(name string) (*TableInfo, error) {
+	if name != c.name {
+		return nil, fmt.Errorf("no table %q", name)
+	}
+	return c.info, nil
+}
+
+// fixtureEnv serves one heap table; vectorwise scans are not wired.
+type fixtureEnv struct {
+	heap *rowengine.HeapTable
+}
+
+func (e *fixtureEnv) Heap(string) (*rowengine.HeapTable, error) {
+	if e.heap == nil {
+		return nil, fmt.Errorf("no heap table")
+	}
+	return e.heap, nil
+}
+
+func (e *fixtureEnv) ScanSource(string, []int, int, int, int) (pdt.BatchSource, error) {
+	return nil, fmt.Errorf("no column store in fixture")
+}
+
+func intSchema(names ...string) *types.Schema {
+	s := &types.Schema{}
+	for _, n := range names {
+		s.Cols = append(s.Cols, types.Col(n, types.Int64))
+	}
+	return s
+}
+
+func valuesNode(rows ...int64) *algebra.Values {
+	out := make([][]types.Value, len(rows))
+	for i, v := range rows {
+		out[i] = []types.Value{types.NewInt64(v)}
+	}
+	return &algebra.Values{Rows: out, Out: intSchema("x")}
+}
+
+func collect(t *testing.T, inst *Instance, profile bool) [][]types.Value {
+	t.Helper()
+	ctx := exec.NewCtx(context.Background())
+	ctx.Profile = profile
+	rows, err := exec.Collect(ctx, inst.Root)
+	if err != nil {
+		t.Fatalf("collect: %v", err)
+	}
+	return rows
+}
+
+// Build lowers a Values→Select→Project→Aggr chain into a fully typed DAG
+// that instantiates and runs through the registry.
+func TestBuildInstantiateAndRunPipeline(t *testing.T) {
+	col := expr.Col(0, "x", types.Int64)
+	alg := &algebra.Aggr{
+		Child: &algebra.Project{
+			Child: &algebra.Select{
+				Child: valuesNode(1, 2, 3, 4, 5),
+				Pred:  expr.NewCall(">", col, expr.CInt(1)),
+			},
+			Exprs: []expr.Expr{expr.NewCall("*", col, expr.CInt(2))},
+			Names: []string{"y"},
+		},
+		GroupCols: nil,
+		Aggs:      []algebra.AggItem{{Fn: "sum", Col: 0}, {Fn: "count", Col: -1}},
+		Names:     []string{"s", "c"},
+	}
+	n, err := Build(alg, nil)
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	agg, ok := n.(*HashAgg)
+	if !ok {
+		t.Fatalf("root is %T, want *HashAgg", n)
+	}
+	if got := agg.Kinds(); len(got) != 2 || got[0] != types.KindInt64 || got[1] != types.KindInt64 {
+		t.Fatalf("agg kinds = %v", got)
+	}
+	inst, err := Instantiate(n, &fixtureEnv{})
+	if err != nil {
+		t.Fatalf("instantiate: %v", err)
+	}
+	rows := collect(t, inst, false)
+	// 2+3+4+5 doubled = 28, over 4 qualifying rows.
+	if len(rows) != 1 || rows[0][0].Int64() != 28 || rows[0][1].Int64() != 4 {
+		t.Fatalf("rows = %v", rows)
+	}
+}
+
+// Scans resolve column names to storage positions at build time.
+func TestBuildResolvesScanColumns(t *testing.T) {
+	phys := intSchema("a", "b", "c")
+	cat := &fixtureCatalog{name: "t", info: &TableInfo{
+		Structure: "vectorwise", Logical: phys, Physical: phys}}
+	alg := &algebra.Scan{Table: "t", Structure: "vectorwise",
+		Cols: []string{"c", "a"}, Out: intSchema("c", "a"), Part: 1, Parts: 4}
+	n, err := Build(alg, cat)
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	s, ok := n.(*Scan)
+	if !ok {
+		t.Fatalf("node is %T, want *Scan", n)
+	}
+	if s.ColIdxs[0] != 2 || s.ColIdxs[1] != 0 {
+		t.Fatalf("resolved idxs = %v", s.ColIdxs)
+	}
+	if s.Part != 1 || s.Parts != 4 {
+		t.Fatalf("partition = %d/%d", s.Part, s.Parts)
+	}
+	if _, err := Build(&algebra.Scan{Table: "t", Cols: []string{"zap"},
+		Out: intSchema("zap")}, cat); err == nil {
+		t.Fatal("unknown column should fail at build time")
+	}
+	if _, err := Build(&algebra.Scan{Table: "nope", Cols: []string{"a"},
+		Out: intSchema("a")}, cat); err == nil {
+		t.Fatal("unknown table should fail at build time")
+	}
+}
+
+// Heap tables lower to HeapScan and run through the registry's adapter.
+func TestHeapScanThroughRegistry(t *testing.T) {
+	schema := intSchema("k", "v")
+	heap := rowengine.NewHeapTable(schema, 0)
+	for i := int64(1); i <= 3; i++ {
+		if _, err := heap.Insert([]types.Value{types.NewInt64(i), types.NewInt64(i * 10)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cat := &fixtureCatalog{name: "h", info: &TableInfo{
+		Structure: "heap", Logical: schema, Physical: schema}}
+	alg := &algebra.Scan{Table: "h", Structure: "heap",
+		Cols: []string{"v"}, Out: intSchema("v")}
+	n, err := Build(alg, cat)
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	if _, ok := n.(*HeapScan); !ok {
+		t.Fatalf("node is %T, want *HeapScan", n)
+	}
+	inst, err := Instantiate(n, &fixtureEnv{heap: heap})
+	if err != nil {
+		t.Fatalf("instantiate: %v", err)
+	}
+	rows := collect(t, inst, false)
+	if len(rows) != 3 || rows[0][0].Int64() != 10 || rows[2][0].Int64() != 30 {
+		t.Fatalf("heap rows = %v", rows)
+	}
+}
+
+// Exchange nodes record the parallelism degree and Format renders it.
+func TestXchgParallelismAndFormat(t *testing.T) {
+	alg := &algebra.XchgUnion{Kids: []algebra.Node{valuesNode(1), valuesNode(2)}}
+	n, err := Build(alg, nil)
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	if got := MaxParallelism(n); got != 2 {
+		t.Fatalf("MaxParallelism = %d, want 2", got)
+	}
+	text := Format(n)
+	for _, want := range []string{"Xchg(degree=2)", "Values(1 rows)", ":: [BIGINT]"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("format missing %q:\n%s", want, text)
+		}
+	}
+	inst, err := Instantiate(n, &fixtureEnv{})
+	if err != nil {
+		t.Fatalf("instantiate: %v", err)
+	}
+	if rows := collect(t, inst, false); len(rows) != 2 {
+		t.Fatalf("xchg rows = %v", rows)
+	}
+}
+
+// Every node kind the builder can emit has a registered factory, and
+// profiling shells record per-operator counters uniformly.
+func TestRegistryAndProfile(t *testing.T) {
+	ops := RegisteredOps()
+	want := []string{"HashAgg", "HashJoin", "HeapScan", "Limit", "Project",
+		"Scan", "Select", "Sort", "TopN", "Union", "Values", "Xchg"}
+	if len(ops) != len(want) {
+		t.Fatalf("registered ops = %v, want %v", ops, want)
+	}
+	for i := range want {
+		if ops[i] != want[i] {
+			t.Fatalf("registered ops = %v, want %v", ops, want)
+		}
+	}
+
+	n, err := Build(&algebra.Select{Child: valuesNode(1, 2, 3),
+		Pred: expr.NewCall(">", expr.Col(0, "x", types.Int64), expr.CInt(0))}, nil)
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	inst, err := Instantiate(n, &fixtureEnv{})
+	if err != nil {
+		t.Fatalf("instantiate: %v", err)
+	}
+	if rows := collect(t, inst, true); len(rows) != 3 {
+		t.Fatalf("rows = %v", rows)
+	}
+	if st := inst.Stats(n); st.Rows != 3 || st.Batches < 1 {
+		t.Fatalf("root stats = %+v", st)
+	}
+	prof := inst.RenderProfile()
+	if !strings.Contains(prof, "rows=3") || !strings.Contains(prof, "Select(") {
+		t.Fatalf("profile rendering:\n%s", prof)
+	}
+}

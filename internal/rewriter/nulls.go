@@ -47,6 +47,26 @@ func PhysicalColMap(logical *types.Schema) ColMap {
 	return cm
 }
 
+// DecomposeRow lays a logical row out in the physical storage convention:
+// values (with in-band safe values at NULL positions) followed by the
+// indicators of nullable columns.
+func DecomposeRow(logical *types.Schema, row []types.Value) []types.Value {
+	out := make([]types.Value, 0, len(row)+4)
+	for i, v := range row {
+		if v.Null {
+			out = append(out, types.SafeValue(logical.Cols[i].Type.Kind))
+		} else {
+			out = append(out, v)
+		}
+	}
+	for i, c := range logical.Cols {
+		if c.Type.Nullable {
+			out = append(out, types.NewBool(row[i].Null))
+		}
+	}
+	return out
+}
+
 // decompose rewrites n into NULL-free physical algebra.
 func decompose(n algebra.Node) (algebra.Node, ColMap, error) {
 	switch t := n.(type) {

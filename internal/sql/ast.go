@@ -139,10 +139,12 @@ type CheckpointStmt struct{ Table string }
 
 func (*CheckpointStmt) stmt() {}
 
-// ExplainStmt shows the plan (and X100 algebra) of a query.
+// ExplainStmt shows the plan (and X100 algebra) of a query. Physical
+// restricts the output to the instantiated physical-plan DAG.
 type ExplainStmt struct {
-	Query   Stmt
-	Profile bool
+	Query    Stmt
+	Profile  bool
+	Physical bool
 }
 
 func (*ExplainStmt) stmt() {}

@@ -48,7 +48,7 @@ var keywords = map[string]bool{
 	"CROSS": true, "SEMI": true, "ANTI": true, "COUNT": true, "SUM": true,
 	"MIN": true, "MAX": true, "AVG": true, "EXTRACT": true, "YEAR": true,
 	"MONTH": true, "DAY": true, "QUARTER": true, "VECTORWISE": true,
-	"HEAP": true, "PARALLEL": true, "VECTORSIZE": true,
+	"HEAP": true, "PARALLEL": true, "VECTORSIZE": true, "PHYSICAL": true,
 }
 
 // Lexer tokenizes SQL text.

@@ -103,6 +103,7 @@ var softKeywords = map[string]bool{
 	"YEAR": true, "MONTH": true, "DAY": true, "QUARTER": true, "COUNT": true,
 	"SUM": true, "MIN": true, "MAX": true, "AVG": true, "KEY": true,
 	"TABLES": true, "QUERIES": true, "STRUCTURE": true, "PARALLEL": true,
+	"PHYSICAL": true,
 }
 
 // expectAliasIdent is expectIdent that also tolerates soft keywords.
@@ -148,11 +149,12 @@ func (p *Parser) parseStmt() (Stmt, error) {
 	case "EXPLAIN", "PROFILE":
 		prof := p.cur().Text == "PROFILE"
 		p.at++
+		phys := p.accept("PHYSICAL")
 		inner, err := p.parseStmt()
 		if err != nil {
 			return nil, err
 		}
-		return &ExplainStmt{Query: inner, Profile: prof}, nil
+		return &ExplainStmt{Query: inner, Profile: prof, Physical: phys}, nil
 	case "SHOW":
 		p.at++
 		switch {

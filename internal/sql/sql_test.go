@@ -228,6 +228,16 @@ func TestParseMisc(t *testing.T) {
 	if _, ok := ex.Query.(*SelectStmt); !ok {
 		t.Fatal("explain")
 	}
+	if ex.Physical || ex.Profile {
+		t.Fatal("plain EXPLAIN should not set variants")
+	}
+	exp := mustParse(t, `EXPLAIN PHYSICAL SELECT 1`).(*ExplainStmt)
+	if !exp.Physical {
+		t.Fatal("explain physical")
+	}
+	if _, ok := exp.Query.(*SelectStmt); !ok {
+		t.Fatal("explain physical query")
+	}
 	if mustParse(t, `SHOW TABLES`).(*ShowStmt).What != "tables" {
 		t.Fatal("show tables")
 	}
