@@ -30,6 +30,17 @@ type Node interface {
 	Line() string
 }
 
+// ScanRange restricts scan output column Col to the inclusive interval
+// [Lo, Hi] (nil = open side) for min/max block skipping. The exact filter
+// remains a Select above the scan; the range only prunes row groups.
+type ScanRange struct {
+	Col    int
+	Lo, Hi *types.Value
+}
+
+// String renders the range for plan display.
+func (r ScanRange) String() string { return types.FormatRange("$", r.Col, r.Lo, r.Hi) }
+
 // Scan reads columns of a stable table; Part/Parts select a row-group
 // partition for parallel plans (0/1 = whole table).
 type Scan struct {
@@ -39,6 +50,10 @@ type Scan struct {
 	Out       *types.Schema
 	Part      int
 	Parts     int
+	// Ranges are sargable block-skipping bounds on output columns. Value
+	// columns keep their positions through NULL decomposition, so the
+	// rewriter carries them unchanged.
+	Ranges []ScanRange
 }
 
 // Schema implements Node.
@@ -56,7 +71,15 @@ func (s *Scan) Line() string {
 	if s.Parts > 1 {
 		part = fmt.Sprintf(" part %d/%d", s.Part, s.Parts)
 	}
-	return fmt.Sprintf("Scan('%s', [%s]%s)", s.Table, strings.Join(s.Cols, ", "), part)
+	rng := ""
+	if len(s.Ranges) > 0 {
+		parts := make([]string, len(s.Ranges))
+		for i, r := range s.Ranges {
+			parts[i] = r.String()
+		}
+		rng = ", ranges=[" + strings.Join(parts, ", ") + "]"
+	}
+	return fmt.Sprintf("Scan('%s', [%s]%s%s)", s.Table, strings.Join(s.Cols, ", "), part, rng)
 }
 
 // Select filters by a boolean expression.

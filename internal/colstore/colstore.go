@@ -91,6 +91,28 @@ func (t *Table) BlockMeta(col, b int) (int, compress.Codec) {
 	return blk.Rows, blk.Codec
 }
 
+// ColumnSummary folds one column's per-block min/max summaries into table-
+// wide bounds. The optimizer uses them to tighten scan cardinality
+// estimates when ANALYZE histograms are absent.
+func (t *Table) ColumnSummary(col int) (min, max types.Value, ok bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if col < 0 || col >= len(t.cols) || len(t.cols[col].Blocks) == 0 {
+		return types.Value{}, types.Value{}, false
+	}
+	blocks := t.cols[col].Blocks
+	min, max = blocks[0].Min, blocks[0].Max
+	for i := 1; i < len(blocks); i++ {
+		if types.Compare(blocks[i].Min, min) < 0 {
+			min = blocks[i].Min
+		}
+		if types.Compare(blocks[i].Max, max) > 0 {
+			max = blocks[i].Max
+		}
+	}
+	return min, max, true
+}
+
 // CompressedBytes totals the encoded size of all blocks (experiment E3's
 // ratio numerator).
 func (t *Table) CompressedBytes() int64 {
@@ -199,15 +221,27 @@ func encodeBlock(kind types.Kind, v *vec.Vector, n int) (Block, error) {
 	case types.KindFloat64:
 		tmp := make([]int64, n)
 		lo, hi := math.Inf(1), math.Inf(-1)
+		hasNaN := false
 		for i := 0; i < n; i++ {
 			f := v.F64[i]
 			tmp[i] = int64(math.Float64bits(f))
+			if math.IsNaN(f) {
+				hasNaN = true
+				continue
+			}
 			if f < lo {
 				lo = f
 			}
 			if f > hi {
 				hi = f
 			}
+		}
+		if hasNaN {
+			// NaN is unordered, so it can never widen lo/hi through the
+			// comparisons above; an all-NaN block would summarize as
+			// Min=+Inf, Max=-Inf and be wrongly pruned by skipGroup. Widen
+			// the summary to ±Inf so NaN-carrying blocks are never skipped.
+			lo, hi = math.Inf(-1), math.Inf(1)
 		}
 		blk.Data, blk.Codec = compress.ChooseInt64(nil, tmp)
 		blk.Min, blk.Max = types.NewFloat64(lo), types.NewFloat64(hi)
@@ -281,7 +315,9 @@ func decodeBlock(kind types.Kind, blk *Block, dst *vec.Vector) error {
 		if err != nil {
 			return err
 		}
-		copy(dst.I64, got)
+		if len(got) > 0 && len(dst.I64) > 0 && &got[0] != &dst.I64[0] {
+			copy(dst.I64, got)
+		}
 	case types.KindFloat64:
 		tmp, _, err := compress.DecodeInt64(nil, blk.Data)
 		if err != nil {
@@ -303,7 +339,9 @@ func decodeBlock(kind types.Kind, blk *Block, dst *vec.Vector) error {
 		if err != nil {
 			return err
 		}
-		copy(dst.Str, got)
+		if len(got) > 0 && len(dst.Str) > 0 && &got[0] != &dst.Str[0] {
+			copy(dst.Str, got)
+		}
 	default:
 		return fmt.Errorf("colstore: cannot decode kind %v", kind)
 	}

@@ -1,6 +1,7 @@
 package colstore
 
 import (
+	"math"
 	"os"
 	"path/filepath"
 	"testing"
@@ -163,6 +164,98 @@ func TestBlockSkippingOpenBounds(t *testing.T) {
 	_, _, skipped = scanAll(t, tab, []int{0}, 2048, RangeFilter{Col: 0, Lo: &lo})
 	if skipped != 2 {
 		t.Fatalf("lo-only filter skipped %d, want 2", skipped)
+	}
+}
+
+// Regression: NaN values are unordered, so an all-NaN float block used to
+// summarize as Min=+Inf, Max=-Inf and skipGroup pruned it even though its
+// rows are live. NaN presence must widen the summary so the block always
+// survives skipping.
+func TestNaNBlocksAreNeverSkipped(t *testing.T) {
+	tab := NewTable(types.NewSchema(types.Col("f", types.Float64)))
+	ap := tab.NewAppender()
+	nan := math.NaN()
+	// Group 0: all NaN. Group 1: mixed NaN and ordinary values.
+	for i := 0; i < BlockRows; i++ {
+		if err := ap.AppendRow([]types.Value{types.NewFloat64(nan)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < BlockRows; i++ {
+		v := float64(i)
+		if i%2 == 0 {
+			v = nan
+		}
+		if err := ap.AppendRow([]types.Value{types.NewFloat64(v)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ap.Close(); err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := types.NewFloat64(1e6), types.NewFloat64(2e6)
+	acc, _, skipped := scanAll(t, tab, []int{0}, 1024, RangeFilter{Col: 0, Lo: &lo, Hi: &hi})
+	if skipped != 0 {
+		t.Fatalf("skipped %d NaN-carrying groups, want 0", skipped)
+	}
+	if acc.Full() != 2*BlockRows {
+		t.Fatalf("scanned %d rows, want %d", acc.Full(), 2*BlockRows)
+	}
+	nans := 0
+	for i := 0; i < acc.Full(); i++ {
+		if math.IsNaN(acc.Vecs[0].F64[i]) {
+			nans++
+		}
+	}
+	if want := BlockRows + BlockRows/2; nans != want {
+		t.Fatalf("NaN rows surviving scan = %d, want %d", nans, want)
+	}
+}
+
+func TestNewScannerRejectsBadFilterColumn(t *testing.T) {
+	tab := fillTable(t, 100)
+	lo := types.NewInt64(1)
+	if _, err := tab.NewScanner([]int{0}, 64, RangeFilter{Col: 99, Lo: &lo}); err == nil {
+		t.Fatal("out-of-range filter column must error, not panic in skipGroup")
+	}
+	if _, err := tab.NewScanner([]int{0}, 64, RangeFilter{Col: -1, Lo: &lo}); err == nil {
+		t.Fatal("negative filter column must error")
+	}
+}
+
+func TestTotalGroupsAndPartitions(t *testing.T) {
+	tab := fillTable(t, BlockRows*4)
+	sc, err := tab.NewScanner([]int{0}, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.TotalGroups() != 4 {
+		t.Fatalf("TotalGroups = %d, want 4", sc.TotalGroups())
+	}
+	part, err := tab.NewScannerPart([]int{0}, 1024, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if part.TotalGroups() != 2 {
+		t.Fatalf("partition TotalGroups = %d, want 2", part.TotalGroups())
+	}
+}
+
+func TestColumnSummary(t *testing.T) {
+	tab := fillTable(t, BlockRows*2)
+	lo, hi, ok := tab.ColumnSummary(0)
+	if !ok {
+		t.Fatal("no summary for populated column")
+	}
+	if lo.I64 != 0 || hi.I64 != int64(BlockRows*2-1) {
+		t.Fatalf("summary [%v,%v]", lo, hi)
+	}
+	if _, _, ok := tab.ColumnSummary(42); ok {
+		t.Fatal("summary for missing column")
+	}
+	empty := NewTable(types.NewSchema(types.Col("x", types.Int64)))
+	if _, _, ok := empty.ColumnSummary(0); ok {
+		t.Fatal("summary for empty table")
 	}
 }
 

@@ -27,6 +27,7 @@ type Scanner struct {
 	decoded []*vec.Vector // decoded vectors per projected column
 	loaded  bool
 	skipped int
+	total   int // row groups this scanner covers (its partition)
 }
 
 // RangeFilter restricts a column to [Lo, Hi] (inclusive; either may be nil
@@ -56,6 +57,7 @@ func (t *Table) NewScannerPart(cols []int, vecSize, part, parts int, filters ...
 	s.group = lo
 	s.rowBase = base
 	s.nGroups = hi
+	s.total = hi - lo
 	return s, nil
 }
 
@@ -69,6 +71,11 @@ func (t *Table) NewScanner(cols []int, vecSize int, filters ...RangeFilter) (*Sc
 			return nil, fmt.Errorf("colstore: column %d out of range", c)
 		}
 	}
+	for _, f := range filters {
+		if f.Col < 0 || f.Col >= len(t.cols) {
+			return nil, fmt.Errorf("colstore: filter column %d out of range", f.Col)
+		}
+	}
 	if vecSize <= 0 {
 		vecSize = vec.DefaultSize
 	}
@@ -80,6 +87,7 @@ func (t *Table) NewScanner(cols []int, vecSize int, filters ...RangeFilter) (*Sc
 	if len(t.cols) > 0 {
 		s.nGroups = len(t.cols[0].Blocks)
 	}
+	s.total = s.nGroups
 	s.decoded = make([]*vec.Vector, len(cols))
 	for i, c := range cols {
 		s.decoded[i] = vec.New(t.cols[c].Type.Kind, BlockRows)
@@ -98,6 +106,10 @@ func (s *Scanner) Kinds() []types.Kind {
 
 // SkippedGroups reports how many row groups block skipping pruned so far.
 func (s *Scanner) SkippedGroups() int { return s.skipped }
+
+// TotalGroups reports how many row groups this scanner's partition covers,
+// skipped or not — the denominator of the "skipped=N/M groups" profile line.
+func (s *Scanner) TotalGroups() int { return s.total }
 
 // Next fills b with up to vecSize rows and returns the global position
 // (SID) of the first row, or done=true at end of table. The batch's vectors

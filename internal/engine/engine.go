@@ -155,6 +155,23 @@ func (db *DB) Column(table, col string) *optimizer.ColStats {
 	return nil
 }
 
+// ColumnBounds implements optimizer.SummaryStats: global min/max folded
+// from the column store's block summaries, the estimation fallback when
+// ANALYZE has not run. NULL positions hold in-band safe values, which can
+// only widen the bounds — fine for selectivity estimates.
+func (db *DB) ColumnBounds(table, col string) (types.Value, types.Value, bool) {
+	e, err := db.entry(table)
+	if err != nil || e.store == nil {
+		return types.Value{}, types.Value{}, false
+	}
+	stable := e.store.Stable()
+	idx := stable.Schema().Find(col)
+	if idx < 0 {
+		return types.Value{}, types.Value{}, false
+	}
+	return stable.ColumnSummary(idx)
+}
+
 // Store returns a vectorwise table's transactional store (tests, benches).
 func (db *DB) Store(name string) (*txn.Store, error) {
 	db.mu.RLock()

@@ -3,8 +3,10 @@ package engine
 import (
 	"context"
 	"fmt"
+	"sync"
 
 	"vectorwise/internal/algebra"
+	"vectorwise/internal/colstore"
 	"vectorwise/internal/exec"
 	"vectorwise/internal/expr"
 	"vectorwise/internal/optimizer"
@@ -15,6 +17,7 @@ import (
 	"vectorwise/internal/rowengine"
 	"vectorwise/internal/sql"
 	"vectorwise/internal/txn"
+	"vectorwise/internal/types"
 	"vectorwise/internal/vec"
 	"vectorwise/internal/xcompile"
 )
@@ -181,9 +184,11 @@ func newBatchFor(src pdt.BatchSource) *vec.Batch {
 
 // querySession owns per-query snapshots of every vectorwise table touched.
 // It implements physical.Env, supplying operator factories with storage
-// handles bound to those snapshots.
+// handles bound to those snapshots. Parallel plans open their scan
+// fragments from exchange goroutines, so the snapshot map is locked.
 type querySession struct {
 	db  *DB
+	mu  sync.Mutex
 	txs map[string]*txn.Txn
 }
 
@@ -192,12 +197,16 @@ func newQuerySession(db *DB) *querySession {
 }
 
 func (qs *querySession) close() {
+	qs.mu.Lock()
+	defer qs.mu.Unlock()
 	for _, tx := range qs.txs {
 		tx.Abort()
 	}
 }
 
 func (qs *querySession) txFor(table string) (*txn.Txn, error) {
+	qs.mu.Lock()
+	defer qs.mu.Unlock()
 	if tx, ok := qs.txs[table]; ok {
 		return tx, nil
 	}
@@ -225,17 +234,48 @@ func (qs *querySession) Heap(table string) (*rowengine.HeapTable, error) {
 	return e.heap, nil
 }
 
-// ScanSource implements physical.Env.
-func (qs *querySession) ScanSource(table string, cols []int, part, parts, vecSize int) (pdt.BatchSource, error) {
+// ScanSource implements physical.Env. Range filters ride along to the
+// scanner on delta-free paths; txn.Scan drops them itself when the
+// snapshot carries deltas (PDT merging is positional — every stable row
+// must flow). The residual Select in the plan keeps results exact.
+func (qs *querySession) ScanSource(table string, cols []int, part, parts, vecSize int, filters []colstore.RangeFilter) (pdt.BatchSource, error) {
 	tx, err := qs.txFor(table)
 	if err != nil {
 		return nil, err
 	}
 	if parts > 1 {
 		if !tx.DeltaFree() {
-			return nil, fmt.Errorf("engine: partitioned scan of %s with pending deltas", table)
+			// The plan was partitioned from a delta-free compile-time hint,
+			// but a write committed before Instantiate. Degrade gracefully:
+			// part 0 serves the whole PDT-merged serial scan (filters off),
+			// the other parts come up empty.
+			if part == 0 {
+				return tx.Scan(cols, vecSize)
+			}
+			return &emptySource{kinds: snapshotKinds(tx, cols)}, nil
 		}
-		return tx.StableSnapshot().NewScannerPart(cols, vecSize, part, parts)
+		return tx.StableSnapshot().NewScannerPart(cols, vecSize, part, parts, filters...)
 	}
-	return tx.Scan(cols, vecSize)
+	return tx.Scan(cols, vecSize, filters...)
 }
+
+// snapshotKinds resolves the vector kinds of a projection over a
+// transaction's stable snapshot.
+func snapshotKinds(tx *txn.Txn, cols []int) []types.Kind {
+	sch := tx.StableSnapshot().Schema()
+	out := make([]types.Kind, len(cols))
+	for i, c := range cols {
+		out[i] = sch.Cols[c].Type.Kind
+	}
+	return out
+}
+
+// emptySource is a BatchSource with no rows — the degenerate partition of a
+// parallel scan that fell back to the serial delta path.
+type emptySource struct{ kinds []types.Kind }
+
+// Kinds implements pdt.BatchSource.
+func (e *emptySource) Kinds() []types.Kind { return e.kinds }
+
+// Next implements pdt.BatchSource.
+func (e *emptySource) Next(*vec.Batch) (int64, int, bool, error) { return 0, 0, true, nil }

@@ -72,11 +72,28 @@ func (c *Ctx) poll() error {
 	}
 }
 
-// OpStats are per-operator profile counters.
+// OpStats are per-operator profile counters. SkippedGroups/TotalGroups are
+// populated only for scans whose source supports min/max block skipping.
 type OpStats struct {
-	Batches int64
-	Rows    int64
-	Nanos   int64
+	Batches       int64
+	Rows          int64
+	Nanos         int64
+	SkippedGroups int64
+	TotalGroups   int64
+}
+
+// GroupSkipping is implemented by batch sources that prune row groups with
+// min/max summaries (colstore scanners); the profiling shell surfaces the
+// counters as "skipped=N/M groups".
+type GroupSkipping interface {
+	SkippedGroups() int
+	TotalGroups() int
+}
+
+// skipReporter is the operator-level view of GroupSkipping (ColScan
+// implements it by delegating to its source).
+type skipReporter interface {
+	SkipStats() (skipped, total int64)
 }
 
 // Profiled wraps an operator with counters when profiling is on.
@@ -121,11 +138,15 @@ func (p *Profiled) Close() { p.Child.Close() }
 
 // Stats returns a snapshot of the counters.
 func (p *Profiled) Stats() OpStats {
-	return OpStats{
+	st := OpStats{
 		Batches: atomic.LoadInt64(&p.stats.Batches),
 		Rows:    atomic.LoadInt64(&p.stats.Rows),
 		Nanos:   atomic.LoadInt64(&p.stats.Nanos),
 	}
+	if sk, ok := p.Child.(skipReporter); ok {
+		st.SkippedGroups, st.TotalGroups = sk.SkipStats()
+	}
+	return st
 }
 
 // Run drains an operator tree, passing each batch to emit; it handles

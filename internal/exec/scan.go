@@ -59,6 +59,16 @@ func (s *ColScan) Next() (*vec.Batch, error) {
 // Close implements Operator.
 func (s *ColScan) Close() {}
 
+// SkipStats reports (skipped, total) row groups when the underlying source
+// does min/max block skipping; zeros otherwise (e.g. the PDT-merge path).
+// Read after the query drains — the profiling shell calls it from Stats.
+func (s *ColScan) SkipStats() (int64, int64) {
+	if gs, ok := s.src.(GroupSkipping); ok {
+		return int64(gs.SkippedGroups()), int64(gs.TotalGroups())
+	}
+	return 0, 0
+}
+
 // Values is a literal-rows operator (VALUES lists, tests).
 type Values struct {
 	Schema *types.Schema

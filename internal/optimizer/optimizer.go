@@ -26,6 +26,7 @@ func (o *Optimizer) Optimize(n plan.Node) plan.Node {
 	n = o.reorderJoins(n)
 	n = o.simplifyGroupBy(n)
 	n = o.pushdown(n) // join reordering can expose new pushdowns
+	n = extractScanRanges(n)
 	return n
 }
 
@@ -156,6 +157,167 @@ func pushPred(n plan.Node, pred expr.Expr) plan.Node {
 		return &plan.Sort{Child: pushPred(t.Child, pred), Keys: t.Keys}
 	}
 	return &plan.Select{Child: n, Pred: pred}
+}
+
+// --- scan-range extraction ---
+
+// extractScanRanges annotates every vectorwise Scan reachable through a
+// chain of Selects with the sargable bounds those Selects imply — the
+// min/max block-skipping pushdown of the paper's sparse indexes. The
+// Selects themselves stay in the plan: skipping prunes whole row groups,
+// exact filtering remains the Select operator's job.
+func extractScanRanges(n plan.Node) plan.Node {
+	ch := n.Children()
+	newCh := make([]plan.Node, len(ch))
+	for i, c := range ch {
+		newCh[i] = extractScanRanges(c)
+	}
+	n = n.WithChildren(newCh)
+	sel, ok := n.(*plan.Select)
+	if !ok {
+		return n
+	}
+	// Collect every conjunct of the Select chain above the scan.
+	var preds []expr.Expr
+	cur := plan.Node(sel)
+	for {
+		s, ok := cur.(*plan.Select)
+		if !ok {
+			break
+		}
+		preds = append(preds, splitConjuncts(s.Pred)...)
+		cur = s.Child
+	}
+	scan, ok := cur.(*plan.Scan)
+	if !ok || scan.Structure != "vectorwise" {
+		return n
+	}
+	ranges := boundsOf(preds, scan.Cols)
+	if len(ranges) == 0 {
+		return n
+	}
+	// Rebuild the chain over a copy of the scan carrying the (complete,
+	// freshly computed) range set. Inner Selects may have annotated a
+	// partial set during recursion; this outermost pass wins.
+	annotated := *scan
+	annotated.Ranges = ranges
+	return rebuildSelectChain(sel, &annotated)
+}
+
+func rebuildSelectChain(n plan.Node, leaf plan.Node) plan.Node {
+	s, ok := n.(*plan.Select)
+	if !ok {
+		return leaf
+	}
+	return &plan.Select{Child: rebuildSelectChain(s.Child, leaf), Pred: s.Pred}
+}
+
+// boundsOf intersects the sargable conjuncts into per-column ranges,
+// ordered by first appearance.
+func boundsOf(preds []expr.Expr, schema *types.Schema) []plan.ColRange {
+	byCol := map[int]*plan.ColRange{}
+	var order []int
+	for _, p := range preds {
+		col, lo, hi, ok := sargableBounds(p, schema)
+		if !ok {
+			continue
+		}
+		r, seen := byCol[col]
+		if !seen {
+			r = &plan.ColRange{Col: col}
+			byCol[col] = r
+			order = append(order, col)
+		}
+		if lo != nil && (r.Lo == nil || types.Compare(*lo, *r.Lo) > 0) {
+			r.Lo = lo
+		}
+		if hi != nil && (r.Hi == nil || types.Compare(*hi, *r.Hi) < 0) {
+			r.Hi = hi
+		}
+	}
+	out := make([]plan.ColRange, 0, len(order))
+	for _, c := range order {
+		out = append(out, *byCol[c])
+	}
+	return out
+}
+
+// sargableBounds recognizes `col OP const` (either operand order) and
+// `col BETWEEN const AND const` as inclusive bounds on a scan column.
+// Strict < and > degrade to their inclusive forms — block skipping is
+// conservative, the residual Select keeps the result exact.
+func sargableBounds(p expr.Expr, schema *types.Schema) (col int, lo, hi *types.Value, ok bool) {
+	call, isCall := p.(*expr.Call)
+	if !isCall {
+		return 0, nil, nil, false
+	}
+	if call.Fn == "between" && len(call.Args) == 3 {
+		cr, okC := call.Args[0].(*expr.ColRef)
+		loC, okL := constOperand(call.Args[1])
+		hiC, okH := constOperand(call.Args[2])
+		if !okC || !okL || !okH || !rangeComparable(schema, cr.Idx, loC.Kind) || !rangeComparable(schema, cr.Idx, hiC.Kind) {
+			return 0, nil, nil, false
+		}
+		return cr.Idx, &loC, &hiC, true
+	}
+	if len(call.Args) != 2 {
+		return 0, nil, nil, false
+	}
+	op := call.Fn
+	cr, okC := call.Args[0].(*expr.ColRef)
+	cv, okV := constOperand(call.Args[1])
+	if !okC || !okV {
+		// Flipped form: const OP col — mirror the operator.
+		cr, okC = call.Args[1].(*expr.ColRef)
+		cv, okV = constOperand(call.Args[0])
+		if !okC || !okV {
+			return 0, nil, nil, false
+		}
+		switch op {
+		case "<":
+			op = ">"
+		case "<=":
+			op = ">="
+		case ">":
+			op = "<"
+		case ">=":
+			op = "<="
+		}
+	}
+	if !rangeComparable(schema, cr.Idx, cv.Kind) {
+		return 0, nil, nil, false
+	}
+	switch op {
+	case "=":
+		return cr.Idx, &cv, &cv, true
+	case "<", "<=":
+		return cr.Idx, nil, &cv, true
+	case ">", ">=":
+		return cr.Idx, &cv, nil, true
+	}
+	return 0, nil, nil, false
+}
+
+func constOperand(e expr.Expr) (types.Value, bool) {
+	c, ok := e.(*expr.Const)
+	if !ok || c.Val.Null {
+		return types.Value{}, false
+	}
+	return c.Val, true
+}
+
+// rangeComparable reports whether types.Compare orders the filter constant
+// against the column's block summaries meaningfully.
+func rangeComparable(schema *types.Schema, col int, constKind types.Kind) bool {
+	if col < 0 || col >= schema.Len() {
+		return false
+	}
+	ck := schema.Cols[col].Type.Kind
+	if ck == types.KindString {
+		return constKind == types.KindString
+	}
+	ordered := func(k types.Kind) bool { return k.Numeric() || k == types.KindDate }
+	return ordered(ck) && ordered(constKind)
 }
 
 // --- join reordering ---
@@ -455,7 +617,18 @@ func (o *Optimizer) columnStatsFor(child plan.Node, pred expr.Expr) (*ColStats, 
 			idx = cr.Idx
 			n = t.Child
 		case *plan.Scan:
-			return o.Stats.Column(t.Table, t.Cols.Cols[idx].Name), t.Table
+			name := t.Cols.Cols[idx].Name
+			if st := o.Stats.Column(t.Table, name); st != nil {
+				return st, t.Table
+			}
+			// No histogram (ANALYZE has not run): fall back to the block
+			// summaries the column store keeps anyway.
+			if ss, ok := o.Stats.(SummaryStats); ok {
+				if lo, hi, ok := ss.ColumnBounds(t.Table, name); ok {
+					return SummaryColStats(lo, hi), t.Table
+				}
+			}
+			return nil, t.Table
 		default:
 			return nil, ""
 		}

@@ -1,6 +1,8 @@
 package optimizer
 
 import (
+	"math"
+
 	"strings"
 	"testing"
 
@@ -176,5 +178,144 @@ func TestEstimates(t *testing.T) {
 	lim := &plan.Limit{Child: s, N: 7}
 	if got := o.EstimateRows(lim); got != 7 {
 		t.Fatalf("limit estimate: %v", got)
+	}
+}
+
+// findScan returns the first Scan in a plan (prefix order).
+func findScan(n plan.Node) *plan.Scan {
+	if s, ok := n.(*plan.Scan); ok {
+		return s
+	}
+	for _, c := range n.Children() {
+		if s := findScan(c); s != nil {
+			return s
+		}
+	}
+	return nil
+}
+
+func TestScanRangeExtraction(t *testing.T) {
+	scan := mkScan("t", -1, types.Col("k", types.Int64), types.Col("s", types.String))
+	pred := expr.NewCall("and",
+		expr.NewCall("and",
+			expr.NewCall(">=", expr.Col(0, "k", types.Int64), expr.CInt(10)),
+			expr.NewCall("<=", expr.Col(0, "k", types.Int64), expr.CInt(20))),
+		expr.NewCall("=", expr.Col(1, "s", types.String), expr.CStr("x")))
+	out := New(nil).Optimize(&plan.Select{Child: scan, Pred: pred})
+	got := findScan(out)
+	if got == nil || len(got.Ranges) != 2 {
+		t.Fatalf("ranges not extracted:\n%s", plan.Format(out))
+	}
+	byCol := map[int]plan.ColRange{}
+	for _, r := range got.Ranges {
+		byCol[r.Col] = r
+	}
+	k := byCol[0]
+	if k.Lo == nil || k.Hi == nil || k.Lo.I64 != 10 || k.Hi.I64 != 20 {
+		t.Fatalf("k range = %v", k)
+	}
+	s := byCol[1]
+	if s.Lo == nil || s.Hi == nil || s.Lo.Str != "x" || s.Hi.Str != "x" {
+		t.Fatalf("s range = %v", s)
+	}
+	// The residual Selects must survive — skipping is block-granular only.
+	selects := 0
+	var rec func(plan.Node)
+	rec = func(n plan.Node) {
+		if _, ok := n.(*plan.Select); ok {
+			selects++
+		}
+		for _, c := range n.Children() {
+			rec(c)
+		}
+	}
+	rec(out)
+	if selects == 0 {
+		t.Fatalf("residual Select dropped:\n%s", plan.Format(out))
+	}
+}
+
+func TestScanRangeIntersectionAndFlip(t *testing.T) {
+	scan := mkScan("t", -1, types.Col("k", types.Int64))
+	// k > 5 AND k > 10 AND 100 >= k (flipped) intersect to [10, 100].
+	pred := expr.NewCall("and",
+		expr.NewCall("and",
+			expr.NewCall(">", expr.Col(0, "k", types.Int64), expr.CInt(5)),
+			expr.NewCall(">", expr.Col(0, "k", types.Int64), expr.CInt(10))),
+		expr.NewCall(">=", expr.CInt(100), expr.Col(0, "k", types.Int64)))
+	got := findScan(New(nil).Optimize(&plan.Select{Child: scan, Pred: pred}))
+	if got == nil || len(got.Ranges) != 1 {
+		t.Fatal("want one merged range")
+	}
+	r := got.Ranges[0]
+	if r.Lo == nil || r.Lo.I64 != 10 || r.Hi == nil || r.Hi.I64 != 100 {
+		t.Fatalf("merged range = %v", r)
+	}
+}
+
+func TestScanRangeIgnoresNonSargable(t *testing.T) {
+	scan := mkScan("t", -1, types.Col("k", types.Int64))
+	// k+0 > 5 is not a bare column comparison; BETWEEN with a column bound
+	// is not constant. Neither may produce a range.
+	pred := expr.NewCall("and",
+		expr.NewCall(">", expr.NewCall("+", expr.Col(0, "k", types.Int64), expr.CInt(0)), expr.CInt(5)),
+		expr.NewCall("between", expr.Col(0, "k", types.Int64),
+			expr.Col(0, "k", types.Int64), expr.CInt(9)))
+	got := findScan(New(nil).Optimize(&plan.Select{Child: scan, Pred: pred}))
+	if got != nil && len(got.Ranges) != 0 {
+		t.Fatalf("non-sargable predicates produced ranges: %v", got.Ranges)
+	}
+}
+
+func TestScanRangeBetween(t *testing.T) {
+	scan := mkScan("t", -1, types.Col("k", types.Int64))
+	pred := expr.NewCall("between", expr.Col(0, "k", types.Int64), expr.CInt(3), expr.CInt(7))
+	got := findScan(New(nil).Optimize(&plan.Select{Child: scan, Pred: pred}))
+	if got == nil || len(got.Ranges) != 1 {
+		t.Fatal("BETWEEN not extracted")
+	}
+	r := got.Ranges[0]
+	if r.Lo == nil || r.Lo.I64 != 3 || r.Hi == nil || r.Hi.I64 != 7 {
+		t.Fatalf("between range = %v", r)
+	}
+}
+
+// summaryStats is a fakeStats that also serves block-summary bounds.
+type summaryStats struct {
+	fakeStats
+	bounds map[string][2]types.Value
+}
+
+func (s *summaryStats) ColumnBounds(table, col string) (types.Value, types.Value, bool) {
+	b, ok := s.bounds[table+"."+col]
+	return b[0], b[1], ok
+}
+
+func TestSummaryBoundsTightenEstimates(t *testing.T) {
+	st := &summaryStats{
+		fakeStats: fakeStats{rows: map[string]int64{"t": 10000}},
+		bounds:    map[string][2]types.Value{"t.k": {types.NewInt64(0), types.NewInt64(999)}},
+	}
+	scan := mkScan("t", -1, types.Col("k", types.Int64))
+	sel := &plan.Select{Child: scan,
+		Pred: expr.NewCall("<=", expr.Col(0, "k", types.Int64), expr.CInt(99))}
+	est := New(st).EstimateRows(sel)
+	// Linear interpolation between summary bounds: ~10% of 10000 rows,
+	// far tighter than the 1/3 default.
+	if est < 500 || est > 1500 {
+		t.Fatalf("summary-backed estimate = %v, want ~1000", est)
+	}
+	noBounds := New(&fakeStats{rows: map[string]int64{"t": 10000}}).EstimateRows(sel)
+	if noBounds < 3000 {
+		t.Fatalf("default estimate = %v, want ~3333", noBounds)
+	}
+}
+
+func TestSummaryColStatsRejectsNonFiniteBounds(t *testing.T) {
+	if st := SummaryColStats(types.NewFloat64(math.Inf(-1)), types.NewFloat64(math.Inf(1))); st != nil {
+		t.Fatal("infinite summary bounds must fall back to defaults")
+	}
+	if st := SummaryColStats(types.NewFloat64(0), types.NewFloat64(100)); st == nil {
+		t.Fatal("finite bounds rejected")
 	}
 }

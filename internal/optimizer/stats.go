@@ -7,6 +7,8 @@
 package optimizer
 
 import (
+	"math"
+
 	"vectorwise/internal/types"
 )
 
@@ -27,6 +29,34 @@ type Stats interface {
 	TableRows(table string) int64
 	// Column returns stats for a column, or nil when not analyzed.
 	Column(table, col string) *ColStats
+}
+
+// SummaryStats is an optional extension of Stats: column bounds folded from
+// the column store's per-block min/max summaries. They cost nothing to
+// maintain, so the optimizer consults them whenever ANALYZE histograms are
+// absent.
+type SummaryStats interface {
+	// ColumnBounds returns the column's global [min, max], or ok=false when
+	// the table has no block summaries for it.
+	ColumnBounds(table, col string) (min, max types.Value, ok bool)
+}
+
+// SummaryColStats builds a single-bucket histogram from block-summary
+// bounds: range selectivity interpolates linearly between min and max,
+// equality keeps its default (distinct count is unknown). Non-ordered kinds
+// return nil — a summary-only histogram would estimate them as zero.
+func SummaryColStats(min, max types.Value) *ColStats {
+	if !(min.Kind.Numeric() || min.Kind == types.KindDate) {
+		return nil
+	}
+	// NaN-bearing float blocks widen their summaries to ±Inf; interpolating
+	// over a non-finite span would turn selectivities into NaN and poison
+	// every downstream cost comparison. Estimate with defaults instead.
+	if math.IsInf(min.AsFloat(), 0) || math.IsInf(max.AsFloat(), 0) ||
+		math.IsNaN(min.AsFloat()) || math.IsNaN(max.AsFloat()) {
+		return nil
+	}
+	return &ColStats{Min: min, Max: max, Bounds: []types.Value{max}}
 }
 
 // NoStats is a Stats that knows nothing (all defaults).

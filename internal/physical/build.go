@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"vectorwise/internal/algebra"
+	"vectorwise/internal/colstore"
 	"vectorwise/internal/exec"
 	"vectorwise/internal/types"
 )
@@ -148,8 +149,17 @@ func buildScan(t *algebra.Scan, cat Catalog) (Node, error) {
 	if info.Structure == "heap" {
 		return &HeapScan{Table: t.Table, Logical: info.Logical, ColIdxs: idxs, ColKinds: kinds}, nil
 	}
+	// Resolve range annotations (scan-output positions) to storage-column
+	// filters for the block skipper.
+	var filters []colstore.RangeFilter
+	for _, r := range t.Ranges {
+		if r.Col < 0 || r.Col >= len(idxs) || (r.Lo == nil && r.Hi == nil) {
+			continue
+		}
+		filters = append(filters, colstore.RangeFilter{Col: idxs[r.Col], Lo: r.Lo, Hi: r.Hi})
+	}
 	return &Scan{Table: t.Table, Cols: t.Cols, ColIdxs: idxs, ColKinds: kinds,
-		Part: t.Part, Parts: t.Parts}, nil
+		Part: t.Part, Parts: t.Parts, Filters: filters}, nil
 }
 
 func aggFn(fn string) (exec.AggFn, error) {

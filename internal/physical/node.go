@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"strings"
 
+	"vectorwise/internal/colstore"
 	"vectorwise/internal/exec"
 	"vectorwise/internal/expr"
 	"vectorwise/internal/types"
@@ -46,6 +47,9 @@ type Node interface {
 
 // Scan reads resolved column positions from a vectorwise (column-store)
 // table; Part/Parts select one row-group partition of a parallel scan.
+// Filters are sargable bounds (storage column positions) forwarded to the
+// scanner for min/max block skipping on the delta-free path; the residual
+// Select above the scan keeps results exact.
 type Scan struct {
 	Table    string
 	Cols     []string // resolved physical column names (for display)
@@ -53,6 +57,7 @@ type Scan struct {
 	ColKinds []types.Kind
 	Part     int
 	Parts    int
+	Filters  []colstore.RangeFilter
 }
 
 // Op implements Node.
@@ -73,7 +78,15 @@ func (s *Scan) Line() string {
 	if s.Parts > 1 {
 		part = fmt.Sprintf(" part %d/%d", s.Part, s.Parts)
 	}
-	return fmt.Sprintf("Scan('%s', %v @ %v%s)", s.Table, s.Cols, s.ColIdxs, part)
+	flt := ""
+	if len(s.Filters) > 0 {
+		parts := make([]string, len(s.Filters))
+		for i, f := range s.Filters {
+			parts[i] = types.FormatRange("col", f.Col, f.Lo, f.Hi)
+		}
+		flt = ", filters=[" + strings.Join(parts, ", ") + "]"
+	}
+	return fmt.Sprintf("Scan('%s', %v @ %v%s%s)", s.Table, s.Cols, s.ColIdxs, part, flt)
 }
 
 // HeapScan adapts a classic (slotted-page) heap table into the vectorized

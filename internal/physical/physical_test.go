@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"vectorwise/internal/algebra"
+	"vectorwise/internal/colstore"
 	"vectorwise/internal/exec"
 	"vectorwise/internal/expr"
 	"vectorwise/internal/pdt"
@@ -39,7 +40,7 @@ func (e *fixtureEnv) Heap(string) (*rowengine.HeapTable, error) {
 	return e.heap, nil
 }
 
-func (e *fixtureEnv) ScanSource(string, []int, int, int, int) (pdt.BatchSource, error) {
+func (e *fixtureEnv) ScanSource(string, []int, int, int, int, []colstore.RangeFilter) (pdt.BatchSource, error) {
 	return nil, fmt.Errorf("no column store in fixture")
 }
 

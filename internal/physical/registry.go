@@ -5,6 +5,7 @@ import (
 	"sort"
 	"time"
 
+	"vectorwise/internal/colstore"
 	"vectorwise/internal/exec"
 	"vectorwise/internal/pdt"
 	"vectorwise/internal/rowengine"
@@ -19,8 +20,11 @@ type Env interface {
 	// ScanSource returns a positional batch source over a vectorwise
 	// table's snapshot; part/parts select a row-group partition (0/1 =
 	// whole table). Called at operator Open time, once the vector size is
-	// known.
-	ScanSource(table string, cols []int, part, parts, vecSize int) (pdt.BatchSource, error)
+	// known. filters carry sargable bounds for min/max block skipping; the
+	// provider must apply them only on delta-free scans (PDT merging is
+	// positional, so every stable row must flow) — results stay exact
+	// either way because the plan keeps the residual Select.
+	ScanSource(table string, cols []int, part, parts, vecSize int, filters []colstore.RangeFilter) (pdt.BatchSource, error)
 }
 
 // Factory instantiates the kernel operator for one physical node; kids are
@@ -41,9 +45,9 @@ func Register(op string, f Factory) {
 func init() {
 	Register("Scan", func(n Node, env Env, _ []exec.Operator) (exec.Operator, error) {
 		s := n.(*Scan)
-		table, idxs, part, parts := s.Table, s.ColIdxs, s.Part, s.Parts
+		table, idxs, part, parts, filters := s.Table, s.ColIdxs, s.Part, s.Parts, s.Filters
 		return exec.NewColScan(s.ColKinds, func(vecSize int) (pdt.BatchSource, error) {
-			return env.ScanSource(table, idxs, part, parts, vecSize)
+			return env.ScanSource(table, idxs, part, parts, vecSize, filters)
 		}), nil
 	})
 	Register("HeapScan", func(n Node, env Env, _ []exec.Operator) (exec.Operator, error) {
@@ -151,12 +155,17 @@ func (inst *Instance) Stats(n Node) exec.OpStats {
 }
 
 // RenderProfile renders the physical DAG annotated with each operator's
-// counters — the per-operator breakdown PROFILE prints.
+// counters — the per-operator breakdown PROFILE prints. Scans that saw
+// block skipping additionally report skipped=N/M groups.
 func (inst *Instance) RenderProfile() string {
 	return render(inst.Plan, func(n Node) string {
 		st := inst.Stats(n)
-		return fmt.Sprintf("  [rows=%d batches=%d time=%v]",
-			st.Rows, st.Batches, time.Duration(st.Nanos).Round(time.Microsecond))
+		skip := ""
+		if st.TotalGroups > 0 {
+			skip = fmt.Sprintf(" skipped=%d/%d groups", st.SkippedGroups, st.TotalGroups)
+		}
+		return fmt.Sprintf("  [rows=%d batches=%d time=%v%s]",
+			st.Rows, st.Batches, time.Duration(st.Nanos).Round(time.Microsecond), skip)
 	})
 }
 

@@ -24,6 +24,19 @@ type Node interface {
 	String() string
 }
 
+// ColRange is a sargable restriction of one scan output column to the
+// inclusive interval [Lo, Hi] (either side nil = open). The optimizer
+// extracts these from pushed-down predicates; storage uses them for min/max
+// block skipping while the originating Select stays in the plan, so results
+// remain exact.
+type ColRange struct {
+	Col    int
+	Lo, Hi *types.Value
+}
+
+// String renders the range for plan display.
+func (r ColRange) String() string { return types.FormatRange("$", r.Col, r.Lo, r.Hi) }
+
 // Scan reads a base table.
 type Scan struct {
 	Table     string
@@ -32,6 +45,8 @@ type Scan struct {
 	Cols      *types.Schema
 	// Key is the primary-key column index (-1 if none); feeds FD reasoning.
 	Key int
+	// Ranges are sargable bounds for block skipping (vectorwise scans only).
+	Ranges []ColRange
 }
 
 // Schema implements Node.
@@ -45,6 +60,13 @@ func (s *Scan) WithChildren(ch []Node) Node { return s }
 
 // String implements Node.
 func (s *Scan) String() string {
+	if len(s.Ranges) > 0 {
+		parts := make([]string, len(s.Ranges))
+		for i, r := range s.Ranges {
+			parts[i] = r.String()
+		}
+		return fmt.Sprintf("Scan(%s:%s, ranges=[%s])", s.Table, s.Structure, strings.Join(parts, ", "))
+	}
 	return fmt.Sprintf("Scan(%s:%s)", s.Table, s.Structure)
 }
 

@@ -77,8 +77,12 @@ func decompose(n algebra.Node) (algebra.Node, ColMap, error) {
 		for i, c := range phys.Cols {
 			cols[i] = c.Name
 		}
+		// Value columns occupy the same positions in the physical layout
+		// (values first, indicators after), so scan ranges carry over
+		// unchanged. NULL positions hold in-band safe values, which only
+		// widen block summaries — skipping stays conservative.
 		return &algebra.Scan{Table: t.Table, Structure: t.Structure, Cols: cols,
-			Out: phys, Part: t.Part, Parts: t.Parts}, PhysicalColMap(logical), nil
+			Out: phys, Part: t.Part, Parts: t.Parts, Ranges: t.Ranges}, PhysicalColMap(logical), nil
 
 	case *algebra.Values:
 		logical := t.Out

@@ -242,6 +242,24 @@ func parallelize(n algebra.Node, opts Options) algebra.Node {
 			return n // unknown aggregate: stay serial
 		}
 	}
+	// An ungrouped aggregate emits one row even over an empty input (SQL
+	// semantics), so a partition whose rows are all filtered away yields a
+	// zero-valued partial whose MIN/MAX would poison the final combination.
+	// Add a count(*) sentinel and drop empty partials before combining.
+	// (Grouped partials simply emit no row for an empty partition.)
+	sentinel := -1
+	if base == 0 {
+		for i, a := range partialAggs {
+			if a.Fn == "count" && a.Col == -1 {
+				sentinel = base + i // reuse an existing count(*) partial
+				break
+			}
+		}
+		if sentinel < 0 {
+			sentinel = base + len(partialAggs)
+			partialAggs = append(partialAggs, algebra.AggItem{Fn: "count", Col: -1})
+		}
+	}
 	names := make([]string, base+len(partialAggs))
 	for i := range names {
 		names[i] = fmt.Sprintf("$p%d", i)
@@ -252,7 +270,11 @@ func parallelize(n algebra.Node, opts Options) algebra.Node {
 		kids[part] = &algebra.Aggr{Child: chain, GroupCols: agg.GroupCols,
 			Aggs: partialAggs, Names: names}
 	}
-	xchg := &algebra.XchgUnion{Kids: kids}
+	var merged algebra.Node = &algebra.XchgUnion{Kids: kids}
+	if sentinel >= 0 {
+		merged = &algebra.Select{Child: merged,
+			Pred: expr.NewCall(">", expr.Col(sentinel, "", types.Int64), expr.CInt(0))}
+	}
 	// Final aggregate regroups by the partial group outputs.
 	finalGroups := make([]int, base)
 	for i := range finalGroups {
@@ -275,7 +297,7 @@ func parallelize(n algebra.Node, opts Options) algebra.Node {
 	for i := range fnames {
 		fnames[i] = fmt.Sprintf("$f%d", i)
 	}
-	final := &algebra.Aggr{Child: xchg, GroupCols: finalGroups, Aggs: finalAggs, Names: fnames}
+	final := &algebra.Aggr{Child: merged, GroupCols: finalGroups, Aggs: finalAggs, Names: fnames}
 	// Post-projection: restore output order and compute AVG = sum/cnt.
 	fs := final.Schema()
 	var exprs []expr.Expr

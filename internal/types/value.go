@@ -206,3 +206,17 @@ func SafeValue(k Kind) Value {
 		return Value{Kind: k}
 	}
 }
+
+// FormatRange renders an inclusive [lo, hi] column restriction for plan
+// display (nil = open side). Shared by the logical, algebra and physical
+// plan printers so range annotations read the same at every stage.
+func FormatRange(prefix string, col int, lo, hi *Value) string {
+	l, h := "-inf", "+inf"
+	if lo != nil {
+		l = lo.String()
+	}
+	if hi != nil {
+		h = hi.String()
+	}
+	return fmt.Sprintf("%s%d in [%s,%s]", prefix, col, l, h)
+}

@@ -24,8 +24,12 @@ func Compile(n plan.Node) (algebra.Node, error) {
 		for i, c := range t.Cols.Cols {
 			cols[i] = c.Name
 		}
+		ranges := make([]algebra.ScanRange, len(t.Ranges))
+		for i, r := range t.Ranges {
+			ranges[i] = algebra.ScanRange{Col: r.Col, Lo: r.Lo, Hi: r.Hi}
+		}
 		return &algebra.Scan{Table: t.Table, Structure: t.Structure, Cols: cols,
-			Out: t.Cols.Clone()}, nil
+			Out: t.Cols.Clone(), Ranges: ranges}, nil
 	case *plan.Select:
 		child, err := Compile(t.Child)
 		if err != nil {
