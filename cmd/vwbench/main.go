@@ -16,9 +16,11 @@ import (
 	"vectorwise/internal/bufmgr"
 	"vectorwise/internal/compress"
 	"vectorwise/internal/datagen"
+	"vectorwise/internal/debughttp"
 	"vectorwise/internal/engine"
 	"vectorwise/internal/expr"
 	"vectorwise/internal/iosim"
+	"vectorwise/internal/metrics"
 	"vectorwise/internal/pdt"
 	"vectorwise/internal/primitives"
 	"vectorwise/internal/rowengine"
@@ -26,13 +28,26 @@ import (
 )
 
 var (
-	rows = flag.Int("rows", 200_000, "lineitem rows for engine experiments")
-	reps = flag.Int("reps", 3, "repetitions per measurement (min is reported)")
-	only = flag.String("only", "", "comma-separated experiment ids (e.g. E1,E6)")
+	rows      = flag.Int("rows", 200_000, "lineitem rows for engine experiments")
+	reps      = flag.Int("reps", 3, "repetitions per measurement (min is reported)")
+	only      = flag.String("only", "", "comma-separated experiment ids (e.g. E1,E6)")
+	debugAddr = flag.String("debug-addr", "", "serve /metrics and /debug/pprof on this address (off when empty)")
 )
 
 func main() {
 	flag.Parse()
+	if *checkPath != "" {
+		runCheck(*checkPath)
+		return
+	}
+	if *debugAddr != "" {
+		debughttp.Serve(*debugAddr, metrics.Default, nil)
+		fmt.Printf("debug server on http://%s (/metrics, /debug/pprof)\n", *debugAddr)
+	}
+	if *suiteMode {
+		runSuite()
+		return
+	}
 	sel := map[string]bool{}
 	for _, s := range strings.Split(*only, ",") {
 		if s = strings.TrimSpace(strings.ToUpper(s)); s != "" {

@@ -1,0 +1,185 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+
+	"vectorwise/internal/datagen"
+	"vectorwise/internal/engine"
+	"vectorwise/internal/metrics"
+	"vectorwise/internal/types"
+)
+
+// Suite mode runs a fixed scan/filter/agg/join grid at two scales and emits
+// a machine-readable report (schema vwbench/v1) with the engine-metric
+// deltas attracted by each cell. -check validates a previously emitted
+// report, which is what CI's bench-smoke job does.
+var (
+	suiteMode = flag.Bool("suite", false, "run the scan/filter/agg/join suite instead of E1…E12")
+	jsonPath  = flag.String("json", "", "write the suite report to this file (suite mode)")
+	checkPath = flag.String("check", "", "validate a suite report file and exit")
+)
+
+// suiteSchema identifies the report format; bump on breaking changes.
+const suiteSchema = "vwbench/v1"
+
+type suiteCell struct {
+	Name       string             `json:"name"`
+	Rows       int                `json:"rows"`
+	Seconds    float64            `json:"seconds"`
+	ResultRows int64              `json:"result_rows"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+type suiteReport struct {
+	Schema  string      `json:"schema"`
+	Scales  []int       `json:"scales"`
+	Reps    int         `json:"reps"`
+	Results []suiteCell `json:"results"`
+}
+
+// suiteQueries is the benchmark grid; every name must appear at every scale
+// for a report to validate.
+var suiteQueries = []struct{ name, sql string }{
+	{"scan", `SELECT COUNT(*), SUM(l_quantity) FROM lineitem`},
+	{"filter", `SELECT COUNT(*) FROM lineitem
+		WHERE l_shipdate <= DATE '1998-09-01' AND l_quantity < 25`},
+	{"agg", q1},
+	{"join", `SELECT o_orderpriority, COUNT(*) FROM lineitem
+		JOIN orders ON l_orderkey = o_orderkey GROUP BY o_orderpriority`},
+}
+
+// counterSnapshot captures every counter in the registry for delta-ing.
+func counterSnapshot() map[string]float64 {
+	out := map[string]float64{}
+	for _, s := range metrics.Default.Snapshot() {
+		if s.Kind == "counter" {
+			out[s.Name] = s.Value
+		}
+	}
+	return out
+}
+
+// metricDeltas returns the counters that moved between two snapshots.
+func metricDeltas(before, after map[string]float64) map[string]float64 {
+	out := map[string]float64{}
+	for name, v := range after {
+		if d := v - before[name]; d != 0 {
+			out[name] = d
+		}
+	}
+	return out
+}
+
+func suiteDB(rows int) *engine.DB {
+	db := engine.Open()
+	ctx := context.Background()
+	mustRun(db, ctx, datagen.LineitemDDL)
+	mustRun(db, ctx, datagen.OrdersDDL)
+	sf := float64(rows) / datagen.RowsPerSF
+	check(db.LoadBatchFunc("lineitem", func(emit func(row []types.Value) error) error {
+		return datagen.Lineitems(sf, 42, emit)
+	}))
+	check(db.LoadBatchFunc("orders", func(emit func(row []types.Value) error) error {
+		return datagen.Orders(sf, 42, emit)
+	}))
+	mustRun(db, ctx, "ANALYZE lineitem")
+	return db
+}
+
+func runSuite() {
+	scales := []int{*rows, *rows * 4}
+	rep := suiteReport{Schema: suiteSchema, Scales: scales, Reps: *reps}
+	for _, scale := range scales {
+		db := suiteDB(scale)
+		for _, q := range suiteQueries {
+			mustRun(db, context.Background(), q.sql) // warm
+			before := counterSnapshot()
+			var resRows int64
+			d := best(func() {
+				res := mustRun(db, context.Background(), q.sql)
+				resRows = int64(len(res.Rows))
+			})
+			rep.Results = append(rep.Results, suiteCell{
+				Name:       q.name,
+				Rows:       scale,
+				Seconds:    d.Seconds(),
+				ResultRows: resRows,
+				Metrics:    metricDeltas(before, counterSnapshot()),
+			})
+			fmt.Printf("%-8s rows=%-9d %12v  (%d result rows)\n", q.name, scale, d, resRows)
+		}
+	}
+	out, err := json.MarshalIndent(&rep, "", "  ")
+	check(err)
+	out = append(out, '\n')
+	if *jsonPath != "" {
+		check(os.WriteFile(*jsonPath, out, 0o644))
+		fmt.Printf("wrote %s\n", *jsonPath)
+	} else {
+		os.Stdout.Write(out)
+	}
+}
+
+// checkReport validates a suite report: parseable, right schema, full grid,
+// positive timings, and per-cell metric deltas present. Returns the
+// problems found (empty = valid).
+func checkReport(data []byte) []string {
+	var rep suiteReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return []string{"unparseable JSON: " + err.Error()}
+	}
+	var problems []string
+	if rep.Schema != suiteSchema {
+		problems = append(problems, fmt.Sprintf("schema %q, want %q", rep.Schema, suiteSchema))
+	}
+	if len(rep.Scales) < 2 {
+		problems = append(problems, fmt.Sprintf("%d scales, want >= 2", len(rep.Scales)))
+	}
+	seen := map[string]bool{}
+	for i, c := range rep.Results {
+		id := fmt.Sprintf("results[%d] (%s@%d)", i, c.Name, c.Rows)
+		if c.Name == "" {
+			problems = append(problems, id+": empty name")
+		}
+		if c.Rows <= 0 {
+			problems = append(problems, id+": non-positive rows")
+		}
+		if c.Seconds <= 0 {
+			problems = append(problems, id+": non-positive seconds")
+		}
+		if len(c.Metrics) == 0 {
+			problems = append(problems, id+": no metric deltas")
+		}
+		seen[fmt.Sprintf("%s@%d", c.Name, c.Rows)] = true
+	}
+	for _, scale := range rep.Scales {
+		for _, q := range suiteQueries {
+			key := fmt.Sprintf("%s@%d", q.name, scale)
+			if !seen[key] {
+				problems = append(problems, "missing cell "+key)
+			}
+		}
+	}
+	sort.Strings(problems)
+	return problems
+}
+
+func runCheck(path string) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		log.Fatalf("check: %v", err)
+	}
+	if problems := checkReport(data); len(problems) > 0 {
+		for _, p := range problems {
+			fmt.Fprintln(os.Stderr, "check:", p)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("%s: valid %s report\n", path, suiteSchema)
+}

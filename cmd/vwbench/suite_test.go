@@ -1,0 +1,71 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func validReport() suiteReport {
+	rep := suiteReport{Schema: suiteSchema, Scales: []int{1000, 4000}, Reps: 1}
+	for _, scale := range rep.Scales {
+		for _, q := range suiteQueries {
+			rep.Results = append(rep.Results, suiteCell{
+				Name:    q.name,
+				Rows:    scale,
+				Seconds: 0.001,
+				Metrics: map[string]float64{"colstore_groups_scanned_total": 1},
+			})
+		}
+	}
+	return rep
+}
+
+func marshal(t *testing.T, rep suiteReport) []byte {
+	t.Helper()
+	b, err := json.Marshal(&rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestCheckReportValid(t *testing.T) {
+	if problems := checkReport(marshal(t, validReport())); len(problems) != 0 {
+		t.Fatalf("valid report rejected: %v", problems)
+	}
+}
+
+func TestCheckReportMalformed(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(*suiteReport)
+		wantErr string
+	}{
+		{"wrong schema", func(r *suiteReport) { r.Schema = "vwbench/v0" }, "schema"},
+		{"one scale", func(r *suiteReport) { r.Scales = r.Scales[:1] }, "scales"},
+		{"missing cell", func(r *suiteReport) { r.Results = r.Results[1:] }, "missing cell"},
+		{"zero seconds", func(r *suiteReport) { r.Results[0].Seconds = 0 }, "seconds"},
+		{"no metrics", func(r *suiteReport) { r.Results[0].Metrics = nil }, "metric deltas"},
+	}
+	for _, tc := range cases {
+		rep := validReport()
+		tc.mutate(&rep)
+		problems := checkReport(marshal(t, rep))
+		if len(problems) == 0 {
+			t.Fatalf("%s: accepted", tc.name)
+		}
+		found := false
+		for _, p := range problems {
+			if strings.Contains(p, tc.wantErr) {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("%s: problems %v lack %q", tc.name, problems, tc.wantErr)
+		}
+	}
+	if len(checkReport([]byte("{not json"))) == 0 {
+		t.Fatal("garbage accepted")
+	}
+}

@@ -1,7 +1,8 @@
 // vwsql is an interactive SQL shell over the engine: type statements
 // terminated by ';', or pipe a script on stdin. Meta commands: \q quits,
 // \events dumps the monitor's event log, \plan [id] shows the physical
-// plan a query ran with (most recent when id is omitted).
+// plan a query ran with (most recent when id is omitted), \stats dumps the
+// engine metrics registry, \trace [id] shows a query's per-phase trace.
 package main
 
 import (
@@ -14,17 +15,28 @@ import (
 	"strings"
 	"time"
 
+	"vectorwise/internal/debughttp"
 	"vectorwise/internal/engine"
+	"vectorwise/internal/metrics"
 	"vectorwise/internal/monitor"
 )
 
 func main() {
 	parallel := flag.Int("parallel", 0, "default degree of parallelism")
 	timing := flag.Bool("timing", true, "print per-statement wall time")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics and /debug/pprof on this address (off when empty)")
+	slowMs := flag.Int("slow-query-ms", 0, "log queries slower than this many milliseconds (0 disables)")
 	flag.Parse()
 
 	db := engine.Open()
 	db.Parallel = *parallel
+	if *slowMs > 0 {
+		db.Monitor.SetSlowThreshold(time.Duration(*slowMs) * time.Millisecond)
+	}
+	if *debugAddr != "" {
+		debughttp.Serve(*debugAddr, metrics.Default, db.Monitor)
+		fmt.Fprintf(os.Stderr, "debug server on http://%s (/metrics, /queries, /debug/pprof)\n", *debugAddr)
+	}
 	ctx := context.Background()
 
 	interactive := isTerminal()
@@ -51,6 +63,10 @@ func main() {
 				}
 			case "\\plan":
 				showPlan(db, fields[1:])
+			case "\\stats":
+				showStats(db, fields[1:])
+			case "\\trace":
+				showTrace(db, fields[1:])
 			default:
 				fmt.Println("unknown meta command:", trimmed)
 			}
@@ -122,6 +138,58 @@ func printPlan(qi monitor.QueryInfo) {
 		return
 	}
 	fmt.Print(qi.Plan)
+}
+
+// showStats prints the metrics registry; an optional substring argument
+// filters by metric name (\stats colstore).
+func showStats(db *engine.DB, args []string) {
+	filter := ""
+	if len(args) > 0 {
+		filter = args[0]
+	}
+	n := 0
+	for _, s := range db.MetricsSnapshot() {
+		if filter != "" && !strings.Contains(s.Name, filter) {
+			continue
+		}
+		fmt.Printf("%-52s %-9s %v\n", s.Name, s.Kind, s.Value)
+		n++
+	}
+	if n == 0 {
+		fmt.Println("(no matching metrics)")
+	}
+}
+
+// showTrace prints a query's per-phase span trace: by monitor ID when
+// given, otherwise the most recently finished query's.
+func showTrace(db *engine.DB, args []string) {
+	if len(args) > 0 {
+		id, err := strconv.ParseInt(args[0], 10, 64)
+		if err != nil {
+			fmt.Println("usage: \\trace [query-id]")
+			return
+		}
+		qi, ok := db.FindQuery(id)
+		if !ok {
+			fmt.Printf("no query %d in monitor history\n", id)
+			return
+		}
+		printTrace(qi)
+		return
+	}
+	history := db.Monitor.History()
+	for i := len(history) - 1; i >= 0; i-- {
+		if len(history[i].Spans) > 0 {
+			printTrace(history[i])
+			return
+		}
+	}
+	fmt.Println("no traced queries yet")
+}
+
+func printTrace(qi monitor.QueryInfo) {
+	fmt.Printf("q%d [%s]: %s\n", qi.ID, qi.Status, qi.SQL)
+	fmt.Print(monitor.FormatSpans(qi.Spans))
 }
 
 func isTerminal() bool {

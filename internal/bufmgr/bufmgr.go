@@ -18,6 +18,20 @@ import (
 	"context"
 	"fmt"
 	"sync"
+
+	"vectorwise/internal/metrics"
+)
+
+// Buffer-manager instruments, resolved once; hot paths pay one atomic add.
+var (
+	mLRUHits      = metrics.Default.Counter("bufmgr_lru_hits_total")
+	mLRULoads     = metrics.Default.Counter("bufmgr_lru_loads_total")
+	mLRUEvictions = metrics.Default.Counter("bufmgr_lru_evictions_total")
+	mCoopAttach   = metrics.Default.Counter("bufmgr_coop_attach_total")
+	mCoopHits     = metrics.Default.Counter("bufmgr_coop_shared_hits_total")
+	mCoopLoads    = metrics.Default.Counter("bufmgr_coop_loads_total")
+	mCoopEvict    = metrics.Default.Counter("bufmgr_coop_evictions_total")
+	mCoopActive   = metrics.Default.Gauge("bufmgr_coop_active_scans")
 )
 
 // Source supplies chunk data; reads carry the (simulated or real) I/O cost.
@@ -74,6 +88,7 @@ func (p *LRUPool) Get(ctx context.Context, id int) ([]byte, error) {
 			p.order.MoveToFront(el)
 			data := el.Value.(*lruEntry).data
 			p.stats.Hits++
+			mLRUHits.Inc()
 			p.mu.Unlock()
 			return data, nil
 		}
@@ -100,6 +115,7 @@ func (p *LRUPool) Get(ctx context.Context, id int) ([]byte, error) {
 			return nil, err
 		}
 		p.stats.Loads++
+		mLRULoads.Inc()
 		p.insertLocked(id, data)
 		p.mu.Unlock()
 		return data, nil
@@ -120,6 +136,7 @@ func (p *LRUPool) insertLocked(id int, data []byte) {
 		victim := back.Value.(*lruEntry)
 		p.order.Remove(back)
 		delete(p.items, victim.id)
+		mLRUEvictions.Inc()
 	}
 	p.items[id] = p.order.PushFront(&lruEntry{id: id, data: data})
 }

@@ -69,6 +69,8 @@ func (a *ABM) AttachRange(lo, hi int) *CoopScan {
 	a.mu.Lock()
 	a.scans[s] = struct{}{}
 	a.mu.Unlock()
+	mCoopAttach.Inc()
+	mCoopActive.Add(1)
 	return s
 }
 
@@ -76,7 +78,10 @@ func (a *ABM) AttachRange(lo, hi int) *CoopScan {
 func (s *CoopScan) Detach() {
 	a := s.abm
 	a.mu.Lock()
-	delete(a.scans, s)
+	if _, attached := a.scans[s]; attached {
+		delete(a.scans, s)
+		mCoopActive.Add(-1)
+	}
 	a.cond.Broadcast()
 	a.mu.Unlock()
 }
@@ -100,7 +105,10 @@ func (s *CoopScan) Next(ctx context.Context) (id int, data []byte, ok bool, err 
 			return 0, nil, false, err
 		}
 		if s.left == 0 {
-			delete(a.scans, s)
+			if _, attached := a.scans[s]; attached {
+				delete(a.scans, s)
+				mCoopActive.Add(-1)
+			}
 			a.cond.Broadcast()
 			return 0, nil, false, nil
 		}
@@ -109,6 +117,7 @@ func (s *CoopScan) Next(ctx context.Context) (id int, data []byte, ok bool, err 
 			if d, resident := a.cache[c]; resident {
 				s.consumeLocked(c)
 				a.stats.Hits++
+				mCoopHits.Inc()
 				return c, d, true, nil
 			}
 		}
@@ -137,6 +146,7 @@ func (s *CoopScan) Next(ctx context.Context) (id int, data []byte, ok bool, err 
 			return 0, nil, false, err
 		}
 		a.stats.Loads++
+		mCoopLoads.Inc()
 		a.insertLocked(c, d)
 		a.cond.Broadcast()
 		// Loop back: the loaded chunk is now resident and relevant.
@@ -219,6 +229,7 @@ func (a *ABM) insertLocked(id int, data []byte) {
 			break
 		}
 		delete(a.cache, victim)
+		mCoopEvict.Inc()
 	}
 	a.cache[id] = data
 }

@@ -3,8 +3,18 @@ package colstore
 import (
 	"fmt"
 
+	"vectorwise/internal/metrics"
 	"vectorwise/internal/types"
 	"vectorwise/internal/vec"
+)
+
+// Scan instrumentation: group-level counters cost one atomic add per row
+// group (16K rows), not per vector.
+var (
+	mGroupsScanned = metrics.Default.Counter("colstore_groups_scanned_total")
+	mGroupsSkipped = metrics.Default.Counter("colstore_groups_skipped_total")
+	mBytesDecoded  = metrics.Default.Counter("colstore_bytes_decompressed_total")
+	mRowsScanned   = metrics.Default.Counter("colstore_rows_scanned_total")
 )
 
 // Scanner reads a projection of a table vector-at-a-time, in row order,
@@ -125,14 +135,20 @@ func (s *Scanner) Next(b *vec.Batch) (start int64, n int, done bool, err error) 
 				s.rowBase += int64(gRows)
 				s.group++
 				s.skipped++
+				mGroupsSkipped.Inc()
 				continue
 			}
+			var decoded int64
 			for i, c := range s.cols {
 				blk := &s.blocks[c][s.group]
 				if err := decodeBlock(s.t.cols[c].Type.Kind, blk, s.decoded[i]); err != nil {
 					return 0, 0, false, err
 				}
+				decoded += int64(len(blk.Data))
 			}
+			mGroupsScanned.Inc()
+			mBytesDecoded.Add(decoded)
+			mRowsScanned.Add(int64(gRows))
 			s.loaded = true
 		}
 		n = s.vecSize

@@ -1,0 +1,24 @@
+package compress
+
+import "vectorwise/internal/metrics"
+
+// Per-codec decode counters, resolved once so the block-decode hot path
+// pays a single atomic add. Indexed by Codec.
+var decodeBlocks = func() [PDict + 1]*metrics.Counter {
+	var out [PDict + 1]*metrics.Counter
+	for c := None; c <= PDict; c++ {
+		out[c] = metrics.Default.Counter(`compress_decode_blocks_total{codec="` + c.String() + `"}`)
+	}
+	return out
+}()
+
+// decodeBytes totals the encoded bytes fed to the block decoders.
+var decodeBytes = metrics.Default.Counter("compress_decode_bytes_total")
+
+// countDecode records one dispatched block decode.
+func countDecode(c Codec, encodedLen int) {
+	if c <= PDict {
+		decodeBlocks[c].Inc()
+	}
+	decodeBytes.Add(int64(encodedLen))
+}

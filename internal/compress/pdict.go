@@ -161,6 +161,7 @@ func DecodeString(dst []string, src []byte) ([]string, []byte, error) {
 	if len(src) == 0 {
 		return nil, nil, ErrCorrupt
 	}
+	countDecode(Codec(src[0]), len(src))
 	switch Codec(src[0]) {
 	case None:
 		return DecodeStringRaw(dst, src)

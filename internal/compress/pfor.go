@@ -363,6 +363,7 @@ func DecodeInt64(dst []int64, src []byte) ([]int64, []byte, error) {
 	if len(src) == 0 {
 		return nil, nil, ErrCorrupt
 	}
+	countDecode(Codec(src[0]), len(src))
 	switch Codec(src[0]) {
 	case None:
 		return DecodeNone(dst, src)

@@ -1,0 +1,65 @@
+// Package debughttp exposes the engine's observability surface over HTTP:
+// a Prometheus-style text endpoint for the metrics registry and the
+// standard pprof profiling handlers. It is opt-in — binaries mount it only
+// when the operator passes -debug-addr.
+package debughttp
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"vectorwise/internal/metrics"
+	"vectorwise/internal/monitor"
+)
+
+// Handler builds the debug mux: /metrics (Prometheus text exposition 0.0.4
+// of the given registry), /debug/pprof/* and, when mon is non-nil, /queries
+// (plain-text active + recent query listing with phase traces).
+func Handler(reg *metrics.Registry, mon *monitor.Monitor) http.Handler {
+	if reg == nil {
+		reg = metrics.Default
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := reg.WritePrometheus(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	if mon != nil {
+		mux.HandleFunc("/queries", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			fmt.Fprintln(w, "== active ==")
+			for _, qi := range mon.Active() {
+				fmt.Fprintf(w, "q%d [%s] %v  %s\n", qi.ID, qi.Status, qi.Duration.Round(time.Microsecond), qi.SQL)
+			}
+			fmt.Fprintln(w, "== recent ==")
+			for _, qi := range mon.History() {
+				fmt.Fprintf(w, "q%d [%s] %v rows=%d  %s\n",
+					qi.ID, qi.Status, qi.Duration.Round(time.Microsecond), qi.Rows, qi.SQL)
+				if len(qi.Spans) > 0 {
+					fmt.Fprint(w, monitor.FormatSpans(qi.Spans))
+				}
+			}
+		})
+	}
+	// The default pprof handlers register on http.DefaultServeMux; mount
+	// them explicitly so this mux stays self-contained.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve starts the debug server on addr in a goroutine and returns the
+// listener error channel (buffered; nil until ListenAndServe fails).
+func Serve(addr string, reg *metrics.Registry, mon *monitor.Monitor) <-chan error {
+	errc := make(chan error, 1)
+	srv := &http.Server{Addr: addr, Handler: Handler(reg, mon)}
+	go func() { errc <- srv.ListenAndServe() }()
+	return errc
+}

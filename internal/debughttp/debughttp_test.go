@@ -1,0 +1,75 @@
+package debughttp
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"vectorwise/internal/metrics"
+	"vectorwise/internal/monitor"
+)
+
+func get(t *testing.T, srv *httptest.Server, path string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(srv.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	reg := metrics.NewRegistry()
+	reg.Counter("demo_hits_total").Add(7)
+	reg.Gauge("demo_depth").Set(3)
+	srv := httptest.NewServer(Handler(reg, nil))
+	defer srv.Close()
+	code, body := get(t, srv, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	for _, want := range []string{
+		"# TYPE demo_hits_total counter",
+		"demo_hits_total 7",
+		"demo_depth 3",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("missing %q in:\n%s", want, body)
+		}
+	}
+	// The endpoint serves the registry's live state, not a boot-time copy.
+	reg.Counter("demo_hits_total").Add(5)
+	_, body = get(t, srv, "/metrics")
+	if !strings.Contains(body, "demo_hits_total 12") {
+		t.Fatalf("endpoint did not track registry: %s", body)
+	}
+}
+
+func TestQueriesEndpoint(t *testing.T) {
+	mon := monitor.New(16)
+	qi, _ := mon.StartQuery(context.Background(), "SELECT 1")
+	mon.FinishQuery(qi, 1, nil)
+	srv := httptest.NewServer(Handler(metrics.NewRegistry(), mon))
+	defer srv.Close()
+	code, body := get(t, srv, "/queries")
+	if code != http.StatusOK || !strings.Contains(body, "SELECT 1") {
+		t.Fatalf("queries endpoint: %d\n%s", code, body)
+	}
+}
+
+func TestPprofIndex(t *testing.T) {
+	srv := httptest.NewServer(Handler(metrics.NewRegistry(), nil))
+	defer srv.Close()
+	code, body := get(t, srv, "/debug/pprof/")
+	if code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Fatalf("pprof index: %d", code)
+	}
+}

@@ -12,9 +12,11 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"vectorwise/internal/colstore"
 	"vectorwise/internal/expr"
+	"vectorwise/internal/metrics"
 	"vectorwise/internal/monitor"
 	"vectorwise/internal/optimizer"
 	"vectorwise/internal/plan"
@@ -63,12 +65,28 @@ type Result struct {
 	Text     string // EXPLAIN / SHOW output
 }
 
+// ctxKey keys engine-internal context values.
+type ctxKey int
+
+// parseSpanKey carries the parse-phase span from Exec (which owns parsing)
+// to execSelect (which owns the monitor record) without widening the public
+// ExecStmt signature.
+const parseSpanKey ctxKey = iota
+
+func parseSpanFrom(ctx context.Context) (monitor.Span, bool) {
+	sp, ok := ctx.Value(parseSpanKey).(monitor.Span)
+	return sp, ok
+}
+
 // Exec parses and executes one statement.
 func (db *DB) Exec(ctx context.Context, query string) (*Result, error) {
+	t := time.Now()
 	stmt, err := sql.Parse(query)
 	if err != nil {
 		return nil, err
 	}
+	ctx = context.WithValue(ctx, parseSpanKey,
+		monitor.Span{Phase: "parse", Start: t, Dur: time.Since(t)})
 	return db.ExecStmt(ctx, stmt, query)
 }
 
@@ -122,6 +140,9 @@ func (db *DB) ExecStmt(ctx context.Context, stmt sql.Stmt, text string) (*Result
 
 // ResolveTable implements plan.Catalog.
 func (db *DB) ResolveTable(name string) (*plan.TableMeta, error) {
+	if meta := sysTableMeta(name); meta != nil {
+		return meta, nil
+	}
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	e, ok := db.tables[name]
@@ -288,6 +309,26 @@ func (db *DB) execShow(s *sql.ShowStmt) (*Result, error) {
 				types.NewString(string(qi.Status)),
 				types.NewString(qi.Duration.String()),
 				types.NewString(qi.SQL),
+			})
+		}
+		return res, nil
+	case "metrics":
+		res := &Result{Cols: []string{"name", "kind", "value"}}
+		for _, sm := range metrics.Default.Snapshot() {
+			res.Rows = append(res.Rows, []types.Value{
+				types.NewString(sm.Name),
+				types.NewString(sm.Kind),
+				types.NewFloat64(sm.Value),
+			})
+		}
+		return res, nil
+	case "events":
+		res := &Result{Cols: []string{"time", "kind", "msg"}}
+		for _, ev := range db.Monitor.Events() {
+			res.Rows = append(res.Rows, []types.Value{
+				types.NewString(ev.Time.Format("2006-01-02 15:04:05.000")),
+				types.NewString(string(ev.Kind)),
+				types.NewString(ev.Msg),
 			})
 		}
 		return res, nil

@@ -4,11 +4,13 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"time"
 
 	"vectorwise/internal/algebra"
 	"vectorwise/internal/colstore"
 	"vectorwise/internal/exec"
 	"vectorwise/internal/expr"
+	"vectorwise/internal/monitor"
 	"vectorwise/internal/optimizer"
 	"vectorwise/internal/pdt"
 	"vectorwise/internal/physical"
@@ -30,26 +32,42 @@ type compiled struct {
 	optimized plan.Node
 	rw        *rewriter.Result
 	phys      physical.Node
+	// spans times the compile-side pipeline phases (bind → optimize →
+	// xcompile → rewrite → build); parse and execute are added by callers.
+	spans []monitor.Span
+}
+
+// phase appends a lifecycle span measured from start to now.
+func (c *compiled) phase(name string, start time.Time) {
+	c.spans = append(c.spans, monitor.Span{Phase: name, Start: start, Dur: time.Since(start)})
 }
 
 // compileSelect runs parser output through binder → optimizer → cross
-// compiler → rewriter → physical-plan builder.
+// compiler → rewriter → physical-plan builder, timing each phase.
 func (db *DB) compileSelect(s *sql.SelectStmt) (*compiled, error) {
+	c := &compiled{}
 	b := db.binder()
+	t := time.Now()
 	logical, err := b.BindSelect(s)
 	if err != nil {
 		return nil, err
 	}
+	c.phase("bind", t)
 	opt := optimizer.New(db)
+	t = time.Now()
 	optimized := opt.Optimize(logical)
+	c.phase("optimize", t)
+	t = time.Now()
 	alg, err := xcompileNode(optimized)
 	if err != nil {
 		return nil, err
 	}
+	c.phase("xcompile", t)
 	par := db.Parallel
 	if s.Parallel > 0 {
 		par = s.Parallel
 	}
+	t = time.Now()
 	rw, err := rewriter.Rewrite(alg, rewriter.Options{
 		Parallel: par,
 		PartsHint: func(table string) int {
@@ -59,11 +77,15 @@ func (db *DB) compileSelect(s *sql.SelectStmt) (*compiled, error) {
 	if err != nil {
 		return nil, err
 	}
+	c.phase("rewrite", t)
+	t = time.Now()
 	phys, err := physical.Build(rw.Node, db)
 	if err != nil {
 		return nil, err
 	}
-	return &compiled{logical: logical, optimized: optimized, rw: rw, phys: phys}, nil
+	c.phase("build", t)
+	c.logical, c.optimized, c.rw, c.phys = logical, optimized, rw, phys
+	return c, nil
 }
 
 // partsAvailable reports how many row-group partitions a table offers for
@@ -85,6 +107,13 @@ func (db *DB) partsAvailable(table string) int {
 
 // PhysicalTable implements physical.Catalog.
 func (db *DB) PhysicalTable(name string) (*physical.TableInfo, error) {
+	if meta := sysTableMeta(name); meta != nil {
+		return &physical.TableInfo{
+			Structure: meta.Structure,
+			Logical:   meta.Schema,
+			Physical:  rewriter.PhysicalSchema(meta.Schema),
+		}, nil
+	}
 	e, err := db.entry(name)
 	if err != nil {
 		return nil, err
@@ -105,7 +134,13 @@ func (db *DB) execSelect(ctx context.Context, s *sql.SelectStmt, text string) (*
 	}
 	qi, qctx := db.Monitor.StartQuery(ctx, text)
 	db.Monitor.AttachPlan(qi, physical.Format(c.phys))
+	if ps, ok := parseSpanFrom(ctx); ok {
+		db.Monitor.AttachSpans(qi, ps)
+	}
+	db.Monitor.AttachSpans(qi, c.spans...)
+	t := time.Now()
 	res, _, err := db.runCompiled(qctx, c, s, false)
+	db.Monitor.AttachSpans(qi, monitor.Span{Phase: "execute", Start: t, Dur: time.Since(t)})
 	var rows int64
 	if res != nil {
 		rows = int64(len(res.Rows))
@@ -164,11 +199,18 @@ func (db *DB) execExplain(ctx context.Context, s *sql.ExplainStmt) (*Result, err
 			"== physical plan ==\n" + physical.Format(c.phys)
 	}
 	if s.Profile {
+		t := time.Now()
 		res, inst, err := db.runCompiled(ctx, c, sel, true)
 		if err != nil {
 			return nil, err
 		}
+		spans := c.spans
+		if ps, ok := parseSpanFrom(ctx); ok {
+			spans = append([]monitor.Span{ps}, spans...)
+		}
+		spans = append(spans, monitor.Span{Phase: "execute", Start: t, Dur: time.Since(t)})
 		text += fmt.Sprintf("== execution ==\n%d rows\n", len(res.Rows))
+		text += "== phase trace ==\n" + monitor.FormatSpans(spans)
 		text += "== operator profile ==\n" + inst.RenderProfile()
 	}
 	return &Result{Text: text}, nil
@@ -222,8 +264,12 @@ func (qs *querySession) txFor(table string) (*txn.Txn, error) {
 	return tx, nil
 }
 
-// Heap implements physical.Env.
+// Heap implements physical.Env. Virtual sys.* tables materialize a fresh
+// snapshot heap per query; real heap tables come from the catalog.
 func (qs *querySession) Heap(table string) (*rowengine.HeapTable, error) {
+	if sysTableMeta(table) != nil {
+		return qs.db.sysHeap(table)
+	}
 	e, err := qs.db.entry(table)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,107 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+
+	"vectorwise/internal/metrics"
+	"vectorwise/internal/monitor"
+	"vectorwise/internal/plan"
+	"vectorwise/internal/rowengine"
+	"vectorwise/internal/types"
+)
+
+// sysSchemas declares the introspection virtual tables. They resolve like
+// heap tables, so the whole SQL surface (WHERE, GROUP BY, joins) works on
+// them; the storage is materialized per query from live engine state.
+var sysSchemas = map[string]*types.Schema{
+	"sys.metrics": types.NewSchema(
+		types.Col("name", types.String),
+		types.Col("kind", types.String),
+		types.Col("value", types.Float64),
+	),
+	"sys.queries": types.NewSchema(
+		types.Col("id", types.Int64),
+		types.Col("status", types.String),
+		types.Col("rows", types.Int64),
+		types.Col("duration_ms", types.Float64),
+		types.Col("sql", types.String),
+		types.Col("error", types.String),
+	),
+	"sys.events": types.NewSchema(
+		types.Col("time", types.String),
+		types.Col("kind", types.String),
+		types.Col("msg", types.String),
+	),
+}
+
+// sysTableMeta resolves a virtual table's catalog entry (nil if name is not
+// a sys table).
+func sysTableMeta(name string) *plan.TableMeta {
+	sch, ok := sysSchemas[name]
+	if !ok {
+		return nil
+	}
+	return &plan.TableMeta{Name: name, Schema: sch, Structure: "heap", Key: -1}
+}
+
+// sysHeap materializes a virtual table as a transient heap: a consistent
+// snapshot of the registry/monitor taken when the query instantiates its
+// plan. The executor's ordinary HeapScan does the rest.
+func (db *DB) sysHeap(name string) (*rowengine.HeapTable, error) {
+	sch, ok := sysSchemas[name]
+	if !ok {
+		return nil, fmt.Errorf("engine: no system table %q", name)
+	}
+	ht := rowengine.NewHeapTable(sch, -1)
+	insert := func(row []types.Value) error {
+		_, err := ht.Insert(row)
+		return err
+	}
+	switch name {
+	case "sys.metrics":
+		for _, s := range metrics.Default.Snapshot() {
+			if err := insert([]types.Value{
+				types.NewString(s.Name),
+				types.NewString(s.Kind),
+				types.NewFloat64(s.Value),
+			}); err != nil {
+				return nil, err
+			}
+		}
+	case "sys.queries":
+		qis := db.Monitor.History()
+		qis = append(qis, db.Monitor.Active()...)
+		sort.Slice(qis, func(i, j int) bool { return qis[i].ID < qis[j].ID })
+		for _, qi := range qis {
+			if err := insert([]types.Value{
+				types.NewInt64(qi.ID),
+				types.NewString(string(qi.Status)),
+				types.NewInt64(qi.Rows),
+				types.NewFloat64(float64(qi.Duration.Nanoseconds()) / 1e6),
+				types.NewString(qi.SQL),
+				types.NewString(qi.Err),
+			}); err != nil {
+				return nil, err
+			}
+		}
+	case "sys.events":
+		for _, ev := range db.Monitor.Events() {
+			if err := insert([]types.Value{
+				types.NewString(ev.Time.Format("2006-01-02 15:04:05.000")),
+				types.NewString(string(ev.Kind)),
+				types.NewString(ev.Msg),
+			}); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return ht, nil
+}
+
+// MetricsSnapshot exposes the engine-wide registry snapshot (shell \stats,
+// benchmarks).
+func (db *DB) MetricsSnapshot() []metrics.Sample { return metrics.Default.Snapshot() }
+
+// FindQuery returns a monitored query record by ID (shell \trace).
+func (db *DB) FindQuery(id int64) (monitor.QueryInfo, bool) { return db.Monitor.Find(id) }

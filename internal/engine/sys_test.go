@@ -1,0 +1,119 @@
+package engine
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"vectorwise/internal/colstore"
+)
+
+// metricValue reads one counter through the SQL surface itself.
+func metricValue(t *testing.T, db *DB, name string) float64 {
+	t.Helper()
+	res := mustExec(t, db, `SELECT value FROM sys.metrics WHERE name = '`+name+`'`)
+	if len(res.Rows) != 1 {
+		t.Fatalf("sys.metrics lookup %q: %d rows", name, len(res.Rows))
+	}
+	return res.Rows[0][0].AsFloat()
+}
+
+func TestSysMetricsLiveCounters(t *testing.T) {
+	const blocks = 8
+	db := rangeDB(t, blocks)
+	scanned0 := metricValue(t, db, "colstore_groups_scanned_total")
+	skipped0 := metricValue(t, db, "colstore_groups_skipped_total")
+	// A selective range scan over block-clustered data must prune most row
+	// groups and decode at least one.
+	lo := 3 * colstore.BlockRows
+	mustExec(t, db, `SELECT k, v FROM pts WHERE k BETWEEN `+strconv.Itoa(lo)+
+		` AND `+strconv.Itoa(lo+99))
+	scanned1 := metricValue(t, db, "colstore_groups_scanned_total")
+	skipped1 := metricValue(t, db, "colstore_groups_skipped_total")
+	if scanned1 <= scanned0 {
+		t.Fatalf("groups_scanned did not move: %v -> %v", scanned0, scanned1)
+	}
+	if skipped1 < skipped0+float64(blocks-2) {
+		t.Fatalf("groups_skipped did not move: %v -> %v", skipped0, skipped1)
+	}
+	// Executor per-operator-class counters move too.
+	if v := metricValue(t, db, `exec_rows_total{op="Scan"}`); v <= 0 {
+		t.Fatalf("exec rows counter: %v", v)
+	}
+}
+
+func TestSysQueriesAndEvents(t *testing.T) {
+	db := itemsDB(t)
+	mustExec(t, db, `SELECT count(*) FROM items`)
+	q := mustExec(t, db, `SELECT id, status, rows, sql FROM sys.queries WHERE status = 'done'`)
+	if len(q.Rows) == 0 {
+		t.Fatal("sys.queries empty after a completed query")
+	}
+	found := false
+	for _, r := range q.Rows {
+		if strings.Contains(r[3].Str, "count(*)") || strings.Contains(r[3].Str, "COUNT") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("sys.queries does not list the count query: %+v", q.Rows)
+	}
+	ev := mustExec(t, db, `SELECT kind, msg FROM sys.events WHERE kind = 'query.end'`)
+	if len(ev.Rows) == 0 {
+		t.Fatal("sys.events has no query.end records")
+	}
+}
+
+func TestShowMetricsAndEvents(t *testing.T) {
+	db := itemsDB(t)
+	res := mustExec(t, db, `SHOW METRICS`)
+	if len(res.Rows) == 0 {
+		t.Fatal("SHOW METRICS returned nothing")
+	}
+	seen := map[string]bool{}
+	for _, r := range res.Rows {
+		seen[r[0].Str] = true
+	}
+	for _, want := range []string{"monitor_queries_total", "colstore_groups_scanned_total"} {
+		if !seen[want] {
+			t.Fatalf("SHOW METRICS missing %q", want)
+		}
+	}
+	if len(mustExec(t, db, `SHOW EVENTS`).Rows) == 0 {
+		t.Fatal("SHOW EVENTS returned nothing")
+	}
+}
+
+func TestProfilePhaseTrace(t *testing.T) {
+	db := itemsDB(t)
+	res := mustExec(t, db, `PROFILE SELECT grp, count(*) FROM items GROUP BY grp`)
+	for _, want := range []string{"== phase trace ==", "parse", "bind", "optimize",
+		"xcompile", "rewrite", "build", "execute", "total"} {
+		if !strings.Contains(res.Text, want) {
+			t.Fatalf("PROFILE output missing %q:\n%s", want, res.Text)
+		}
+	}
+}
+
+func TestQuerySpansRecorded(t *testing.T) {
+	db := itemsDB(t)
+	mustExec(t, db, `SELECT count(*) FROM items`)
+	h := db.Monitor.History()
+	last := h[len(h)-1]
+	if len(last.Spans) < 6 {
+		t.Fatalf("expected full span trace, got %+v", last.Spans)
+	}
+	if last.Spans[0].Phase != "parse" || last.Spans[len(last.Spans)-1].Phase != "execute" {
+		t.Fatalf("span order: %+v", last.Spans)
+	}
+}
+
+func TestSysMetricsAggregable(t *testing.T) {
+	db := itemsDB(t)
+	// The virtual table flows through the ordinary pipeline: aggregation
+	// over it must work.
+	res := mustExec(t, db, `SELECT count(*) FROM sys.metrics WHERE kind = 'counter'`)
+	if len(res.Rows) != 1 || res.Rows[0][0].AsInt() <= 0 {
+		t.Fatalf("aggregate over sys.metrics: %+v", res.Rows)
+	}
+}

@@ -12,10 +12,12 @@ package exec
 import (
 	"context"
 	"errors"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"vectorwise/internal/expr"
+	"vectorwise/internal/metrics"
 	"vectorwise/internal/types"
 	"vectorwise/internal/vec"
 )
@@ -96,17 +98,45 @@ type skipReporter interface {
 	SkipStats() (skipped, total int64)
 }
 
-// Profiled wraps an operator with counters when profiling is on.
+// opClassMetrics are the always-on per-operator-class instruments
+// (vectors/rows produced). One pair per op name, resolved once and shared
+// by every instance of that class; Next pays two atomic adds per batch.
+type opClassMetrics struct {
+	rows, batches *Counter
+}
+
+// Counter aliases the metrics counter so operator code reads naturally.
+type Counter = metrics.Counter
+
+var opMetricsCache sync.Map // op name -> *opClassMetrics
+
+func classMetrics(op string) *opClassMetrics {
+	if m, ok := opMetricsCache.Load(op); ok {
+		return m.(*opClassMetrics)
+	}
+	m := &opClassMetrics{
+		rows:    metrics.Default.Counter(`exec_rows_total{op="` + op + `"}`),
+		batches: metrics.Default.Counter(`exec_vectors_total{op="` + op + `"}`),
+	}
+	actual, _ := opMetricsCache.LoadOrStore(op, m)
+	return actual.(*opClassMetrics)
+}
+
+// Profiled wraps an operator with counters when profiling is on. The
+// engine-wide per-class rows/vectors metrics stay on unconditionally —
+// they are two atomic adds per batch, invisible next to the work of
+// producing the batch.
 type Profiled struct {
 	Name  string
 	Child Operator
 	stats OpStats
+	class *opClassMetrics
 	on    bool
 }
 
 // NewProfiled wraps child.
 func NewProfiled(name string, child Operator) *Profiled {
-	return &Profiled{Name: name, Child: child}
+	return &Profiled{Name: name, Child: child, class: classMetrics(name)}
 }
 
 // Kinds implements Operator.
@@ -121,7 +151,12 @@ func (p *Profiled) Open(ctx *Ctx) error {
 // Next implements Operator.
 func (p *Profiled) Next() (*vec.Batch, error) {
 	if !p.on {
-		return p.Child.Next()
+		b, err := p.Child.Next()
+		if b != nil {
+			p.class.batches.Inc()
+			p.class.rows.Add(int64(b.Rows()))
+		}
+		return b, err
 	}
 	t0 := time.Now()
 	b, err := p.Child.Next()
@@ -129,6 +164,8 @@ func (p *Profiled) Next() (*vec.Batch, error) {
 	if b != nil {
 		atomic.AddInt64(&p.stats.Batches, 1)
 		atomic.AddInt64(&p.stats.Rows, int64(b.Rows()))
+		p.class.batches.Inc()
+		p.class.rows.Add(int64(b.Rows()))
 	}
 	return b, err
 }

@@ -1,0 +1,292 @@
+// Package metrics is the engine-wide instrumentation registry: counters,
+// gauges and fixed-bucket histograms with lock-free hot paths. Subsystems
+// resolve their instruments once (package init or construction time) and
+// then update them with single atomic operations, so instrumenting a scan
+// loop or a buffer-pool lookup costs one uncontended atomic add.
+//
+// The registry itself is only locked on instrument creation and snapshot;
+// it backs the SQL-visible sys.metrics table, SHOW METRICS, and the
+// Prometheus-style /metrics endpoint.
+//
+// Instrument names follow Prometheus conventions (snake_case, _total for
+// counters). A name may carry a label suffix in curly braces — e.g.
+// exec_rows_total{op="Scan"} — which the expositor passes through verbatim,
+// grouping TYPE lines by the base name.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing value.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be non-negative; negative deltas are ignored to keep
+// the counter monotone).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a value that can go up and down.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adjusts the value by n (may be negative).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram is a fixed-bucket histogram. Bounds are inclusive upper bucket
+// edges in ascending order; an implicit +Inf bucket catches the rest.
+type Histogram struct {
+	bounds  []float64
+	counts  []atomic.Int64 // len(bounds)+1
+	count   atomic.Int64
+	sumBits atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	// Buckets are few (≤ ~20); linear scan beats binary search in practice
+	// and stays branch-predictable for skewed inputs.
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// Buckets returns the bucket upper bounds and the cumulative count at each
+// bound, plus the total (the +Inf bucket's cumulative count).
+func (h *Histogram) Buckets() (bounds []float64, cumulative []int64, total int64) {
+	bounds = h.bounds
+	cumulative = make([]int64, len(h.bounds))
+	var acc int64
+	for i := range h.bounds {
+		acc += h.counts[i].Load()
+		cumulative[i] = acc
+	}
+	return bounds, cumulative, h.count.Load()
+}
+
+// DefLatencyBuckets are the default latency bounds, in seconds (100µs to
+// 10s, roughly logarithmic).
+var DefLatencyBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// Registry holds named instruments. Get-or-create methods are safe for
+// concurrent use; callers should cache the returned pointer.
+type Registry struct {
+	mu     sync.RWMutex
+	counts map[string]*Counter
+	gauges map[string]*Gauge
+	hists  map[string]*Histogram
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counts: map[string]*Counter{},
+		gauges: map[string]*Gauge{},
+		hists:  map[string]*Histogram{},
+	}
+}
+
+// Default is the process-wide registry the engine's subsystems register
+// into.
+var Default = NewRegistry()
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.RLock()
+	c, ok := r.counts[name]
+	r.mu.RUnlock()
+	if ok {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok = r.counts[name]; ok {
+		return c
+	}
+	c = &Counter{}
+	r.counts[name] = c
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.RLock()
+	g, ok := r.gauges[name]
+	r.mu.RUnlock()
+	if ok {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok = r.gauges[name]; ok {
+		return g
+	}
+	g = &Gauge{}
+	r.gauges[name] = g
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given bounds
+// on first use (later calls ignore bounds).
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	r.mu.RLock()
+	h, ok := r.hists[name]
+	r.mu.RUnlock()
+	if ok {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok = r.hists[name]; ok {
+		return h
+	}
+	if len(bounds) == 0 {
+		bounds = DefLatencyBuckets
+	}
+	bs := make([]float64, len(bounds))
+	copy(bs, bounds)
+	sort.Float64s(bs)
+	h = &Histogram{bounds: bs, counts: make([]atomic.Int64, len(bs)+1)}
+	r.hists[name] = h
+	return h
+}
+
+// Sample is one flattened metric reading. Histograms expand into one sample
+// per bucket (name_bucket{le="…"}) plus name_sum and name_count.
+type Sample struct {
+	Name  string
+	Kind  string // "counter", "gauge", "histogram"
+	Value float64
+}
+
+// Snapshot returns all instrument readings, sorted by name. It is
+// consistent per instrument (atomic loads), not across instruments — the
+// usual monitoring contract.
+func (r *Registry) Snapshot() []Sample {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]Sample, 0, len(r.counts)+len(r.gauges)+8*len(r.hists))
+	for name, c := range r.counts {
+		out = append(out, Sample{Name: name, Kind: "counter", Value: float64(c.Value())})
+	}
+	for name, g := range r.gauges {
+		out = append(out, Sample{Name: name, Kind: "gauge", Value: float64(g.Value())})
+	}
+	for name, h := range r.hists {
+		bounds, cum, total := h.Buckets()
+		for i, b := range bounds {
+			out = append(out, Sample{
+				Name:  fmt.Sprintf("%s_bucket{le=%q}", name, formatBound(b)),
+				Kind:  "histogram",
+				Value: float64(cum[i]),
+			})
+		}
+		out = append(out, Sample{Name: name + `_bucket{le="+Inf"}`, Kind: "histogram", Value: float64(total)})
+		out = append(out, Sample{Name: name + "_sum", Kind: "histogram", Value: h.Sum()})
+		out = append(out, Sample{Name: name + "_count", Kind: "histogram", Value: float64(total)})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Get returns the current value of a named counter or gauge (0, false when
+// absent) — convenience for tests and delta accounting.
+func (r *Registry) Get(name string) (float64, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if c, ok := r.counts[name]; ok {
+		return float64(c.Value()), true
+	}
+	if g, ok := r.gauges[name]; ok {
+		return float64(g.Value()), true
+	}
+	return 0, false
+}
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4): one TYPE line per metric family, then samples.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	samples := r.Snapshot()
+	// TYPE lines go once per base family, before its first sample.
+	typed := map[string]bool{}
+	for _, s := range samples {
+		base := baseName(s.Name)
+		family, kind := base, s.Kind
+		if kind == "histogram" {
+			family = strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(family,
+				"_bucket"), "_sum"), "_count")
+		}
+		if !typed[family] {
+			typed[family] = true
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", family, kind); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s %s\n", s.Name, formatValue(s.Value)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// baseName strips a {label} suffix.
+func baseName(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+func formatBound(b float64) string {
+	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%f", b), "0"), ".")
+}
+
+func formatValue(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}

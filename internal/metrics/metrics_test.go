@@ -1,0 +1,165 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total")
+	c.Inc()
+	c.Add(4)
+	c.Add(-10) // ignored: counters are monotone
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if again := r.Counter("c_total"); again != c {
+		t.Fatal("Counter should return the same instrument for the same name")
+	}
+	g := r.Gauge("g")
+	g.Set(10)
+	g.Add(-3)
+	if got := g.Value(); got != 7 {
+		t.Fatalf("gauge = %d, want 7", got)
+	}
+}
+
+func TestHistogramBucketBoundaries(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", []float64{1, 10, 100})
+	// Bounds are inclusive upper edges.
+	for _, v := range []float64{0.5, 1.0} { // bucket le=1
+		h.Observe(v)
+	}
+	h.Observe(1.0001) // bucket le=10
+	h.Observe(10)     // bucket le=10
+	h.Observe(99.99)  // bucket le=100
+	h.Observe(1e9)    // +Inf
+	bounds, cum, total := h.Buckets()
+	if len(bounds) != 3 {
+		t.Fatalf("bounds = %v", bounds)
+	}
+	if cum[0] != 2 || cum[1] != 4 || cum[2] != 5 || total != 6 {
+		t.Fatalf("cumulative = %v total=%d, want [2 4 5] 6", cum, total)
+	}
+	wantSum := 0.5 + 1.0 + 1.0001 + 10 + 99.99 + 1e9
+	if math.Abs(h.Sum()-wantSum) > 1e-6 {
+		t.Fatalf("sum = %v, want %v", h.Sum(), wantSum)
+	}
+	if h.Count() != 6 {
+		t.Fatalf("count = %d, want 6", h.Count())
+	}
+}
+
+// TestConcurrentInstruments exercises the registry the way parallel scan
+// fragments do: many goroutines resolving and updating the same instruments
+// while another goroutine snapshots. Run with -race.
+func TestConcurrentInstruments(t *testing.T) {
+	r := NewRegistry()
+	const workers = 8
+	const perWorker = 2000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() { // snapshot-while-writing
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = r.Snapshot()
+				var sb strings.Builder
+				_ = r.WritePrometheus(&sb)
+			}
+		}
+	}()
+	var wwg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wwg.Add(1)
+		go func(w int) {
+			defer wwg.Done()
+			c := r.Counter("scan_rows_total")
+			g := r.Gauge("active")
+			h := r.Histogram("lat_seconds", []float64{0.001, 0.01, 0.1})
+			for i := 0; i < perWorker; i++ {
+				c.Add(3)
+				g.Add(1)
+				g.Add(-1)
+				h.Observe(float64(i%200) / 1000.0)
+			}
+		}(w)
+	}
+	wwg.Wait()
+	close(stop)
+	wg.Wait()
+	if got := r.Counter("scan_rows_total").Value(); got != workers*perWorker*3 {
+		t.Fatalf("counter = %d, want %d", got, workers*perWorker*3)
+	}
+	if got := r.Gauge("active").Value(); got != 0 {
+		t.Fatalf("gauge = %d, want 0", got)
+	}
+	h := r.Histogram("lat_seconds", nil)
+	if h.Count() != workers*perWorker {
+		t.Fatalf("hist count = %d, want %d", h.Count(), workers*perWorker)
+	}
+	_, cum, total := h.Buckets()
+	if cum[len(cum)-1] > total {
+		t.Fatalf("cumulative %v exceeds total %d", cum, total)
+	}
+}
+
+func TestPrometheusExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(`exec_rows_total{op="Scan"}`).Add(7)
+	r.Counter(`exec_rows_total{op="Select"}`).Add(3)
+	r.Gauge("active_queries").Set(2)
+	r.Histogram("query_seconds", []float64{0.5, 1}).Observe(0.4)
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE exec_rows_total counter",
+		`exec_rows_total{op="Scan"} 7`,
+		`exec_rows_total{op="Select"} 3`,
+		"# TYPE active_queries gauge",
+		"active_queries 2",
+		"# TYPE query_seconds histogram",
+		`query_seconds_bucket{le="0.5"} 1`,
+		`query_seconds_bucket{le="+Inf"} 1`,
+		"query_seconds_sum 0.4",
+		"query_seconds_count 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Exactly one TYPE line per family even with labeled variants.
+	if n := strings.Count(out, "# TYPE exec_rows_total"); n != 1 {
+		t.Fatalf("want 1 TYPE line for exec_rows_total, got %d", n)
+	}
+}
+
+func TestSnapshotGet(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total").Add(5)
+	r.Gauge("b").Set(-2)
+	if v, ok := r.Get("a_total"); !ok || v != 5 {
+		t.Fatalf("Get(a_total) = %v,%v", v, ok)
+	}
+	if v, ok := r.Get("b"); !ok || v != -2 {
+		t.Fatalf("Get(b) = %v,%v", v, ok)
+	}
+	if _, ok := r.Get("missing"); ok {
+		t.Fatal("Get(missing) should report absence")
+	}
+	s := r.Snapshot()
+	if len(s) != 2 || s[0].Name != "a_total" || s[1].Name != "b" {
+		t.Fatalf("snapshot = %+v", s)
+	}
+}

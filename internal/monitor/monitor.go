@@ -1,7 +1,7 @@
 // Package monitor provides the system-monitoring facilities the paper lists
 // under "mundane things": event logging, an active-query registry with
-// cancellation handles, per-query statistics and resource (memory)
-// reporting.
+// cancellation handles, per-query statistics, per-phase lifecycle tracing
+// and resource (memory) reporting.
 package monitor
 
 import (
@@ -9,8 +9,24 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"vectorwise/internal/metrics"
+)
+
+// Query-lifecycle instruments (engine-wide; the registry backs sys.metrics
+// and the Prometheus endpoint).
+var (
+	mQueries       = metrics.Default.Counter("monitor_queries_total")
+	mQueriesFailed = metrics.Default.Counter("monitor_queries_failed_total")
+	mQueriesCancel = metrics.Default.Counter("monitor_queries_cancelled_total")
+	mQueriesSlow   = metrics.Default.Counter("monitor_slow_queries_total")
+	mActive        = metrics.Default.Gauge("monitor_active_queries")
+	mQuerySeconds  = metrics.Default.Histogram("monitor_query_seconds", nil)
+	mRowsReturned  = metrics.Default.Counter("monitor_rows_returned_total")
 )
 
 // EventKind classifies log events.
@@ -22,6 +38,7 @@ const (
 	EvQueryEnd    EventKind = "query.end"
 	EvQueryError  EventKind = "query.error"
 	EvQueryCancel EventKind = "query.cancel"
+	EvQuerySlow   EventKind = "query.slow"
 	EvDDL         EventKind = "ddl"
 	EvCheckpoint  EventKind = "checkpoint"
 	EvLoad        EventKind = "load"
@@ -45,7 +62,38 @@ const (
 	StatusCancelled QueryStatus = "cancelled"
 )
 
-// QueryInfo describes one query execution.
+// Span is one timed phase of a query's lifecycle (parse → bind → optimize
+// → xcompile → rewrite → build → execute).
+type Span struct {
+	Phase string
+	Start time.Time
+	Dur   time.Duration
+}
+
+// FormatSpans renders a span list as an aligned per-phase trace with each
+// phase's share of the total.
+func FormatSpans(spans []Span) string {
+	if len(spans) == 0 {
+		return "(no trace recorded)\n"
+	}
+	var total time.Duration
+	for _, s := range spans {
+		total += s.Dur
+	}
+	var b strings.Builder
+	for _, s := range spans {
+		pct := 0.0
+		if total > 0 {
+			pct = 100 * float64(s.Dur) / float64(total)
+		}
+		fmt.Fprintf(&b, "%-10s %12v  %5.1f%%\n", s.Phase, s.Dur.Round(time.Microsecond), pct)
+	}
+	fmt.Fprintf(&b, "%-10s %12v\n", "total", total.Round(time.Microsecond))
+	return b.String()
+}
+
+// QueryInfo describes one query execution. The monitor hands out *copies*;
+// the canonical record is only ever mutated under the monitor's lock.
 type QueryInfo struct {
 	ID       int64
 	SQL      string
@@ -57,8 +105,23 @@ type QueryInfo struct {
 	// Plan is the rendered physical plan the engine attaches before
 	// execution (empty for statements that bypass the vectorized kernel).
 	Plan string
+	// Spans is the per-phase lifecycle trace.
+	Spans []Span
 
 	cancel context.CancelFunc
+}
+
+// snapshot returns a deep copy safe to hand out: slices are cloned and the
+// cancellation handle is dropped so callers can neither mutate the record
+// nor retain the query's context alive.
+func (qi *QueryInfo) snapshot() QueryInfo {
+	cp := *qi
+	cp.cancel = nil
+	if len(qi.Spans) > 0 {
+		cp.Spans = make([]Span, len(qi.Spans))
+		copy(cp.Spans, qi.Spans)
+	}
+	return cp
 }
 
 // Monitor is the engine-wide event log and query registry. The event log is
@@ -71,6 +134,8 @@ type Monitor struct {
 	active   map[int64]*QueryInfo
 	history  []*QueryInfo
 	histCap  int
+	// slowNanos is the slow-query log threshold (0 = disabled).
+	slowNanos atomic.Int64
 }
 
 // New builds a monitor with the given event-ring capacity.
@@ -79,6 +144,20 @@ func New(eventCap int) *Monitor {
 		eventCap = 1024
 	}
 	return &Monitor{eventCap: eventCap, histCap: 256, active: map[int64]*QueryInfo{}}
+}
+
+// SetSlowThreshold configures the slow-query log: queries running at least
+// d are logged as query.slow events (d <= 0 disables the log).
+func (m *Monitor) SetSlowThreshold(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	m.slowNanos.Store(int64(d))
+}
+
+// SlowThreshold returns the current slow-query threshold (0 = disabled).
+func (m *Monitor) SlowThreshold() time.Duration {
+	return time.Duration(m.slowNanos.Load())
 }
 
 // Log appends an event.
@@ -113,6 +192,8 @@ func (m *Monitor) StartQuery(ctx context.Context, sql string) (*QueryInfo, conte
 	m.nextID++
 	qi := &QueryInfo{ID: m.nextID, SQL: sql, Start: time.Now(), Status: StatusRunning, cancel: cancel}
 	m.active[qi.ID] = qi
+	mQueries.Inc()
+	mActive.Add(1)
 	m.logLocked(EvQueryStart, "q%d: %s", qi.ID, truncate(sql, 80))
 	return qi, cctx
 }
@@ -125,30 +206,52 @@ func (m *Monitor) AttachPlan(qi *QueryInfo, plan string) {
 	qi.Plan = plan
 }
 
-// FinishQuery records the outcome.
-func (m *Monitor) FinishQuery(qi *QueryInfo, rows int64, err error) {
+// AttachSpans appends lifecycle spans to the query's trace.
+func (m *Monitor) AttachSpans(qi *QueryInfo, spans ...Span) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	qi.Spans = append(qi.Spans, spans...)
+}
+
+// FinishQuery records the outcome, drops the retained cancellation handle,
+// and feeds the latency instruments and the slow-query log.
+func (m *Monitor) FinishQuery(qi *QueryInfo, rows int64, err error) {
+	m.mu.Lock()
 	qi.Duration = time.Since(qi.Start)
 	qi.Rows = rows
 	switch {
 	case err == nil:
 		qi.Status = StatusDone
+		mRowsReturned.Add(rows)
 		m.logLocked(EvQueryEnd, "q%d: %d rows in %v", qi.ID, rows, qi.Duration)
 	case qi.Status == StatusCancelled:
 		qi.Err = err.Error()
+		mQueriesCancel.Inc()
 		m.logLocked(EvQueryCancel, "q%d cancelled after %v", qi.ID, qi.Duration)
 	default:
 		qi.Status = StatusFailed
 		qi.Err = err.Error()
+		mQueriesFailed.Inc()
 		m.logLocked(EvQueryError, "q%d: %v", qi.ID, err)
+	}
+	if slow := m.slowNanos.Load(); slow > 0 && qi.Duration >= time.Duration(slow) {
+		mQueriesSlow.Inc()
+		m.logLocked(EvQuerySlow, "q%d: %v (threshold %v): %s",
+			qi.ID, qi.Duration, time.Duration(slow), truncate(qi.SQL, 120))
 	}
 	delete(m.active, qi.ID)
 	m.history = append(m.history, qi)
 	if len(m.history) > m.histCap {
 		m.history = m.history[len(m.history)-m.histCap:]
 	}
-	qi.cancel()
+	cancel := qi.cancel
+	qi.cancel = nil // drop the handle: finished queries must not pin contexts
+	m.mu.Unlock()
+	mActive.Add(-1)
+	mQuerySeconds.Observe(qi.Duration.Seconds())
+	if cancel != nil {
+		cancel()
+	}
 }
 
 // Cancel aborts a running query by ID ("proper query cancellation" — the
@@ -156,24 +259,28 @@ func (m *Monitor) FinishQuery(qi *QueryInfo, rows int64, err error) {
 func (m *Monitor) Cancel(id int64) bool {
 	m.mu.Lock()
 	qi, ok := m.active[id]
+	var cancel context.CancelFunc
 	if ok {
 		qi.Status = StatusCancelled
+		cancel = qi.cancel
 	}
 	m.mu.Unlock()
 	if !ok {
 		return false
 	}
-	qi.cancel()
+	if cancel != nil {
+		cancel()
+	}
 	return true
 }
 
-// Active lists running queries, oldest first.
+// Active lists running queries, oldest first, as safe copies.
 func (m *Monitor) Active() []QueryInfo {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	out := make([]QueryInfo, 0, len(m.active))
 	for _, qi := range m.active {
-		cp := *qi
+		cp := qi.snapshot()
 		cp.Duration = time.Since(qi.Start)
 		out = append(out, cp)
 	}
@@ -181,15 +288,33 @@ func (m *Monitor) Active() []QueryInfo {
 	return out
 }
 
-// History lists finished queries, oldest first.
+// History lists finished queries, oldest first, as safe copies.
 func (m *Monitor) History() []QueryInfo {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	out := make([]QueryInfo, len(m.history))
 	for i, qi := range m.history {
-		out[i] = *qi
+		out[i] = qi.snapshot()
 	}
 	return out
+}
+
+// Find returns a copy of the query with the given ID, searching active
+// queries then history (ok=false when unknown or evicted).
+func (m *Monitor) Find(id int64) (QueryInfo, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if qi, ok := m.active[id]; ok {
+		cp := qi.snapshot()
+		cp.Duration = time.Since(qi.Start)
+		return cp, true
+	}
+	for i := len(m.history) - 1; i >= 0; i-- {
+		if m.history[i].ID == id {
+			return m.history[i].snapshot(), true
+		}
+	}
+	return QueryInfo{}, false
 }
 
 // MemStats reports process memory usage (resource monitoring).

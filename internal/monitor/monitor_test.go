@@ -3,7 +3,9 @@ package monitor
 import (
 	"context"
 	"errors"
+	"strings"
 	"testing"
+	"time"
 )
 
 func TestQueryLifecycle(t *testing.T) {
@@ -81,6 +83,99 @@ func TestEventRingBounded(t *testing.T) {
 	}
 	if ev[3].Msg != "event 19" {
 		t.Fatalf("newest event: %v", ev[3].Msg)
+	}
+}
+
+func TestSpans(t *testing.T) {
+	m := New(16)
+	qi, _ := m.StartQuery(context.Background(), "SELECT 1")
+	m.AttachSpans(qi,
+		Span{Phase: "parse", Dur: time.Millisecond},
+		Span{Phase: "bind", Dur: 2 * time.Millisecond})
+	m.AttachSpans(qi, Span{Phase: "execute", Dur: 7 * time.Millisecond})
+	m.FinishQuery(qi, 0, nil)
+	h := m.History()
+	if len(h) != 1 || len(h[0].Spans) != 3 {
+		t.Fatalf("spans: %+v", h)
+	}
+	if h[0].Spans[2].Phase != "execute" {
+		t.Fatalf("span order: %+v", h[0].Spans)
+	}
+	out := FormatSpans(h[0].Spans)
+	for _, want := range []string{"parse", "bind", "execute", "total", "70.0%"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("FormatSpans missing %q:\n%s", want, out)
+		}
+	}
+	if FormatSpans(nil) == "" {
+		t.Fatal("FormatSpans(nil) empty")
+	}
+}
+
+func TestSnapshotIsolation(t *testing.T) {
+	m := New(16)
+	qi, _ := m.StartQuery(context.Background(), "SELECT 1")
+	m.AttachSpans(qi, Span{Phase: "parse", Dur: time.Millisecond})
+	act := m.Active()
+	if len(act) != 1 {
+		t.Fatal("no active query")
+	}
+	// Mutating the returned copy must not leak into the monitor's record.
+	act[0].SQL = "tampered"
+	act[0].Spans[0].Phase = "tampered"
+	m.FinishQuery(qi, 0, nil)
+	h := m.History()
+	if h[0].SQL != "SELECT 1" || h[0].Spans[0].Phase != "parse" {
+		t.Fatalf("snapshot leaked mutation: %+v", h[0])
+	}
+	h[0].Spans[0].Phase = "tampered"
+	if m.History()[0].Spans[0].Phase != "parse" {
+		t.Fatal("history snapshot shares span storage")
+	}
+}
+
+func TestSlowQueryLog(t *testing.T) {
+	m := New(16)
+	m.SetSlowThreshold(time.Nanosecond)
+	if m.SlowThreshold() != time.Nanosecond {
+		t.Fatal("threshold not set")
+	}
+	qi, _ := m.StartQuery(context.Background(), "SELECT slow")
+	time.Sleep(time.Millisecond)
+	m.FinishQuery(qi, 0, nil)
+	var slow int
+	for _, ev := range m.Events() {
+		if ev.Kind == EvQuerySlow {
+			slow++
+		}
+	}
+	if slow != 1 {
+		t.Fatalf("slow events: %d", slow)
+	}
+	// Disabled threshold logs nothing.
+	m.SetSlowThreshold(0)
+	qi2, _ := m.StartQuery(context.Background(), "SELECT fast")
+	m.FinishQuery(qi2, 0, nil)
+	for _, ev := range m.Events() {
+		if ev.Kind == EvQuerySlow && strings.Contains(ev.Msg, "fast") {
+			t.Fatal("slow log fired while disabled")
+		}
+	}
+}
+
+func TestFind(t *testing.T) {
+	m := New(16)
+	qi, _ := m.StartQuery(context.Background(), "SELECT 1")
+	if got, ok := m.Find(qi.ID); !ok || got.Status != StatusRunning {
+		t.Fatalf("find active: %+v %v", got, ok)
+	}
+	m.FinishQuery(qi, 3, nil)
+	got, ok := m.Find(qi.ID)
+	if !ok || got.Rows != 3 || got.Status != StatusDone {
+		t.Fatalf("find history: %+v %v", got, ok)
+	}
+	if _, ok := m.Find(9999); ok {
+		t.Fatal("found unknown id")
 	}
 }
 

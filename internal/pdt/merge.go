@@ -36,11 +36,13 @@ type Merger struct {
 
 // NewMerger wraps src with the deltas of p (snapshotted at call time).
 func NewMerger(src BatchSource, p *PDT) *Merger {
+	mMergeScans.Inc()
 	return &Merger{src: src, kinds: src.Kinds(), ops: p.Ops()}
 }
 
 // NewMergerOps is NewMerger over a pre-flattened snapshot.
 func NewMergerOps(src BatchSource, ops []Op) *Merger {
+	mMergeScans.Inc()
 	return &Merger{src: src, kinds: src.Kinds(), ops: ops}
 }
 
@@ -84,6 +86,7 @@ func (m *Merger) Next(b *vec.Batch) (int64, int, bool, error) {
 		out := m.mergeRange(m.in, srcStart, n, m.ops[lo:hi])
 		m.cur = hi
 		m.outAt += int64(out.Rows())
+		mMergeRows.Add(int64(out.Rows()))
 		*b = *out
 		if out.Rows() == 0 {
 			continue // everything in range was deleted; pull more input

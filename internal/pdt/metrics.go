@@ -1,0 +1,14 @@
+package pdt
+
+import "vectorwise/internal/metrics"
+
+// Delta-tree instruments: how much differential state queries carry and how
+// often merge-scans have to reconcile it. Updated with single atomic adds
+// on the mutation and merge paths.
+var (
+	mInserts    = metrics.Default.Counter("pdt_inserts_total")
+	mDeletes    = metrics.Default.Counter("pdt_deletes_total")
+	mModifies   = metrics.Default.Counter("pdt_modifies_total")
+	mMergeScans = metrics.Default.Counter("pdt_merge_scans_total")
+	mMergeRows  = metrics.Default.Counter("pdt_merge_rows_total")
+)

@@ -237,6 +237,7 @@ func (p *PDT) InsertAt(rid int64, row []types.Value) error {
 	nn := &node{kind: OpIns, row: r, height: 1, ins: 1}
 	p.root = insertByRID(p.root, nn, rid, 0, 0)
 	p.ops++
+	mInserts.Inc()
 	return nil
 }
 
@@ -280,11 +281,13 @@ func (p *PDT) DeleteAt(rid int64) error {
 		loc.nd.kind = OpDel
 		loc.nd.mods = nil
 		refreshAggregates(p.root)
+		mDeletes.Inc()
 		return nil
 	default:
 		nn := &node{kind: OpDel, sid: loc.sid, height: 1, del: 1}
 		p.root = insertBySID(p.root, nn)
 		p.ops++
+		mDeletes.Inc()
 		return nil
 	}
 }
@@ -307,6 +310,7 @@ func (p *PDT) ModifyAt(rid int64, col int, v types.Value) error {
 			mods: map[int]types.Value{col: v}}
 		p.root = insertBySID(p.root, nn)
 		p.ops++
+		mModifies.Inc()
 		return nil
 	}
 }
@@ -343,6 +347,7 @@ func (p *PDT) InsertAtSID(sid int64, row []types.Value) {
 	nn := &node{kind: OpIns, sid: sid, row: r, height: 1, ins: 1}
 	p.root = insertInsBySID(p.root, nn)
 	p.ops++
+	mInserts.Inc()
 }
 
 // insertInsBySID keeps the same-SID ordering invariant: inserts (in arrival
@@ -390,11 +395,13 @@ func (p *PDT) DeleteAtSID(sid int64) error {
 		nd.kind = OpDel
 		nd.mods = nil
 		refreshAggregates(p.root)
+		mDeletes.Inc()
 		return nil
 	}
 	nn := &node{kind: OpDel, sid: sid, height: 1, del: 1}
 	p.root = insertBySID(p.root, nn)
 	p.ops++
+	mDeletes.Inc()
 	return nil
 }
 
@@ -410,6 +417,7 @@ func (p *PDT) ModifyAtSID(sid int64, col int, v types.Value) error {
 	nn := &node{kind: OpMod, sid: sid, height: 1, mods: map[int]types.Value{col: v}}
 	p.root = insertBySID(p.root, nn)
 	p.ops++
+	mModifies.Inc()
 	return nil
 }
 

@@ -98,6 +98,17 @@ func (p *Parser) expectIdent() (string, error) {
 	return s, nil
 }
 
+// acceptName consumes an identifier with the given (lower-case) spelling.
+// Used for context-sensitive words (SHOW METRICS) that must not become
+// reserved keywords.
+func (p *Parser) acceptName(name string) bool {
+	if p.cur().Kind == TokIdent && p.cur().Text == name {
+		p.at++
+		return true
+	}
+	return false
+}
+
 // softKeywords may double as identifiers in alias positions (AS year, …).
 var softKeywords = map[string]bool{
 	"YEAR": true, "MONTH": true, "DAY": true, "QUARTER": true, "COUNT": true,
@@ -162,8 +173,12 @@ func (p *Parser) parseStmt() (Stmt, error) {
 			return &ShowStmt{What: "tables"}, nil
 		case p.accept("QUERIES"):
 			return &ShowStmt{What: "queries"}, nil
+		case p.acceptName("metrics"):
+			return &ShowStmt{What: "metrics"}, nil
+		case p.acceptName("events"):
+			return &ShowStmt{What: "events"}, nil
 		}
-		return nil, p.errf("expected TABLES or QUERIES after SHOW")
+		return nil, p.errf("expected TABLES, QUERIES, METRICS or EVENTS after SHOW")
 	}
 	return nil, p.errf("expected a statement")
 }
@@ -403,6 +418,16 @@ func (p *Parser) parseTablePrimary() (TableRef, error) {
 	name, err := p.expectIdent()
 	if err != nil {
 		return nil, err
+	}
+	// Qualified name (sys.metrics and friends): the catalog treats the
+	// dotted form as the table's full name. Soft keywords are allowed after
+	// the dot (sys.queries, sys.tables).
+	if p.accept(".") {
+		part, err := p.expectAliasIdent()
+		if err != nil {
+			return nil, err
+		}
+		name = name + "." + part
 	}
 	bt := &BaseTable{Name: name}
 	if p.accept("AS") {

@@ -20,9 +20,18 @@ import (
 	"sync"
 
 	"vectorwise/internal/colstore"
+	"vectorwise/internal/metrics"
 	"vectorwise/internal/pdt"
 	"vectorwise/internal/types"
 	"vectorwise/internal/vec"
+)
+
+// Transaction-layer instruments.
+var (
+	mCommits     = metrics.Default.Counter("txn_commits_total")
+	mAborts      = metrics.Default.Counter("txn_aborts_total")
+	mConflicts   = metrics.Default.Counter("txn_conflicts_total")
+	mCheckpoints = metrics.Default.Counter("txn_checkpoints_total")
 )
 
 // ErrConflict is returned by Commit when a concurrent transaction committed
@@ -248,7 +257,9 @@ func (t *Txn) recordTouch(rid int64) {
 	t.touched[sid] = struct{}{}
 }
 
-// Abort discards the transaction.
+// Abort discards the transaction. Only transactions that buffered writes
+// count as aborted — releasing a read-only snapshot is routine query
+// teardown, not a rollback.
 func (t *Txn) Abort() {
 	if t.done {
 		return
@@ -257,6 +268,9 @@ func (t *Txn) Abort() {
 	t.store.mu.Lock()
 	t.store.active--
 	t.store.mu.Unlock()
+	if t.write.Len() > 0 {
+		mAborts.Inc()
+	}
 }
 
 // Commit validates and publishes the transaction's writes.
@@ -270,6 +284,7 @@ func (t *Txn) Commit() error {
 	t.done = true
 	s.active--
 	if t.write.Len() == 0 {
+		mCommits.Inc()
 		return nil // read-only
 	}
 	if t.snapEpoch != s.epoch {
@@ -279,6 +294,7 @@ func (t *Txn) Commit() error {
 	if t.nonStable && intervening {
 		// We touched a row that exists only in the read-PDT; concurrent
 		// commits may have shifted it, so positional replay is unsafe.
+		mConflicts.Inc()
 		return ErrConflict
 	}
 	if intervening {
@@ -288,6 +304,7 @@ func (t *Txn) Commit() error {
 			}
 			for sid := range t.touched {
 				if _, clash := rec.touched[sid]; clash {
+					mConflicts.Inc()
 					return ErrConflict
 				}
 			}
@@ -311,6 +328,7 @@ func (t *Txn) Commit() error {
 	if len(t.touched) > 0 {
 		s.commits = append(s.commits, commitRecord{seq: s.seq, touched: t.touched})
 	}
+	mCommits.Inc()
 	return nil
 }
 
@@ -409,5 +427,6 @@ func (s *Store) Checkpoint() error {
 	s.read = pdt.New()
 	s.epoch++
 	s.commits = nil
+	mCheckpoints.Inc()
 	return nil
 }
