@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"sort"
@@ -15,25 +16,37 @@ import (
 	"vectorwise/internal/types"
 )
 
-// Suite mode runs a fixed scan/filter/agg/join grid at two scales and emits
-// a machine-readable report (schema vwbench/v1) with the engine-metric
-// deltas attracted by each cell. -check validates a previously emitted
-// report, which is what CI's bench-smoke job does.
+// Suite mode runs a fixed scan/filter/agg/join grid at two scales, plus a
+// parallel-scaling matrix (pscan/pjoin/psort × P=1,2,4) at the large scale,
+// and emits a machine-readable report (schema vwbench/v2) with the
+// engine-metric deltas attracted by each cell. -check validates a previously
+// emitted report — optionally diffing its timings against an older artifact
+// via -prev — which is what CI's bench-smoke job does.
 var (
 	suiteMode = flag.Bool("suite", false, "run the scan/filter/agg/join suite instead of E1…E12")
 	jsonPath  = flag.String("json", "", "write the suite report to this file (suite mode)")
 	checkPath = flag.String("check", "", "validate a suite report file and exit")
+	prevPath  = flag.String("prev", "", "older suite report to diff timings against (with -check)")
 )
 
 // suiteSchema identifies the report format; bump on breaking changes.
-const suiteSchema = "vwbench/v1"
+// v2 added the parallel-scaling cells (Parallel > 0).
+const suiteSchema = "vwbench/v2"
 
 type suiteCell struct {
 	Name       string             `json:"name"`
 	Rows       int                `json:"rows"`
+	Parallel   int                `json:"parallel,omitempty"` // 0 = serial grid cell
 	Seconds    float64            `json:"seconds"`
 	ResultRows int64              `json:"result_rows"`
 	Metrics    map[string]float64 `json:"metrics"`
+}
+
+func (c *suiteCell) key() string {
+	if c.Parallel > 0 {
+		return fmt.Sprintf("%s@%d/P%d", c.Name, c.Rows, c.Parallel)
+	}
+	return fmt.Sprintf("%s@%d", c.Name, c.Rows)
 }
 
 type suiteReport struct {
@@ -52,6 +65,19 @@ var suiteQueries = []struct{ name, sql string }{
 	{"agg", q1},
 	{"join", `SELECT o_orderpriority, COUNT(*) FROM lineitem
 		JOIN orders ON l_orderkey = o_orderkey GROUP BY o_orderpriority`},
+}
+
+// scalingQueries is the parallel-scaling matrix, run at the large scale only:
+// each query at every degree in scalingDegrees. P=1 is the serial baseline
+// (the rewriter plants no exchanges at degree 1).
+var scalingDegrees = []int{1, 2, 4}
+
+var scalingQueries = []struct{ name, sql string }{
+	{"pscan", `SELECT COUNT(*), SUM(l_quantity) FROM lineitem`},
+	{"pjoin", `SELECT COUNT(*), SUM(l_extendedprice) FROM lineitem
+		JOIN orders ON l_orderkey = o_orderkey`},
+	{"psort", `SELECT l_orderkey, l_extendedprice FROM lineitem
+		ORDER BY l_extendedprice DESC, l_orderkey LIMIT 100`},
 }
 
 // counterSnapshot captures every counter in the registry for delta-ing.
@@ -92,27 +118,44 @@ func suiteDB(rows int) *engine.DB {
 	return db
 }
 
+// runCell measures one suite query on db and appends the cell to rep.
+func runCell(rep *suiteReport, db *engine.DB, name, sql string, scale, parallel int) {
+	if parallel > 0 {
+		sql += fmt.Sprintf(" WITH (PARALLEL=%d)", parallel)
+	}
+	mustRun(db, context.Background(), sql) // warm
+	before := counterSnapshot()
+	var resRows int64
+	d := best(func() {
+		res := mustRun(db, context.Background(), sql)
+		resRows = int64(len(res.Rows))
+	})
+	cell := suiteCell{
+		Name:       name,
+		Rows:       scale,
+		Parallel:   parallel,
+		Seconds:    d.Seconds(),
+		ResultRows: resRows,
+		Metrics:    metricDeltas(before, counterSnapshot()),
+	}
+	rep.Results = append(rep.Results, cell)
+	fmt.Printf("%-14s rows=%-9d %12v  (%d result rows)\n", cell.key(), scale, d, resRows)
+}
+
 func runSuite() {
 	scales := []int{*rows, *rows * 4}
 	rep := suiteReport{Schema: suiteSchema, Scales: scales, Reps: *reps}
 	for _, scale := range scales {
 		db := suiteDB(scale)
 		for _, q := range suiteQueries {
-			mustRun(db, context.Background(), q.sql) // warm
-			before := counterSnapshot()
-			var resRows int64
-			d := best(func() {
-				res := mustRun(db, context.Background(), q.sql)
-				resRows = int64(len(res.Rows))
-			})
-			rep.Results = append(rep.Results, suiteCell{
-				Name:       q.name,
-				Rows:       scale,
-				Seconds:    d.Seconds(),
-				ResultRows: resRows,
-				Metrics:    metricDeltas(before, counterSnapshot()),
-			})
-			fmt.Printf("%-8s rows=%-9d %12v  (%d result rows)\n", q.name, scale, d, resRows)
+			runCell(&rep, db, q.name, q.sql, scale, 0)
+		}
+		if scale == scales[len(scales)-1] {
+			for _, q := range scalingQueries {
+				for _, p := range scalingDegrees {
+					runCell(&rep, db, q.name, q.sql, scale, p)
+				}
+			}
 		}
 	}
 	out, err := json.MarshalIndent(&rep, "", "  ")
@@ -126,9 +169,11 @@ func runSuite() {
 	}
 }
 
-// checkReport validates a suite report: parseable, right schema, full grid,
-// positive timings, and per-cell metric deltas present. Returns the
-// problems found (empty = valid).
+// checkReport validates a suite report: parseable, right schema, full grid
+// (including the parallel-scaling matrix at the large scale), positive
+// timings, per-cell metric deltas present, and identical result rows across
+// degrees of the same scaling query. Returns the problems found
+// (empty = valid).
 func checkReport(data []byte) []string {
 	var rep suiteReport
 	if err := json.Unmarshal(data, &rep); err != nil {
@@ -142,8 +187,9 @@ func checkReport(data []byte) []string {
 		problems = append(problems, fmt.Sprintf("%d scales, want >= 2", len(rep.Scales)))
 	}
 	seen := map[string]bool{}
+	parRows := map[string]int64{} // name@rows → result rows at first degree seen
 	for i, c := range rep.Results {
-		id := fmt.Sprintf("results[%d] (%s@%d)", i, c.Name, c.Rows)
+		id := fmt.Sprintf("results[%d] (%s)", i, c.key())
 		if c.Name == "" {
 			problems = append(problems, id+": empty name")
 		}
@@ -156,7 +202,16 @@ func checkReport(data []byte) []string {
 		if len(c.Metrics) == 0 {
 			problems = append(problems, id+": no metric deltas")
 		}
-		seen[fmt.Sprintf("%s@%d", c.Name, c.Rows)] = true
+		if c.Parallel > 0 {
+			rk := fmt.Sprintf("%s@%d", c.Name, c.Rows)
+			if prev, ok := parRows[rk]; !ok {
+				parRows[rk] = c.ResultRows
+			} else if prev != c.ResultRows {
+				problems = append(problems, fmt.Sprintf(
+					"%s: %d result rows, other degrees saw %d", id, c.ResultRows, prev))
+			}
+		}
+		seen[c.key()] = true
 	}
 	for _, scale := range rep.Scales {
 		for _, q := range suiteQueries {
@@ -166,8 +221,61 @@ func checkReport(data []byte) []string {
 			}
 		}
 	}
+	if len(rep.Scales) > 0 {
+		large := rep.Scales[len(rep.Scales)-1]
+		for _, q := range scalingQueries {
+			for _, p := range scalingDegrees {
+				key := fmt.Sprintf("%s@%d/P%d", q.name, large, p)
+				if !seen[key] {
+					problems = append(problems, "missing scaling cell "+key)
+				}
+			}
+		}
+	}
 	sort.Strings(problems)
 	return problems
+}
+
+// diffReports prints timing deltas for cells present in both reports, and
+// the scaling table (speedup vs P=1) of the current report. Informational
+// only: timings shift with hardware, so regressions are not failures —
+// the scaling cells exist so the trend is visible in review.
+func diffReports(w io.Writer, prev, cur []byte) error {
+	var old, now suiteReport
+	if err := json.Unmarshal(prev, &old); err != nil {
+		return fmt.Errorf("previous report: %w", err)
+	}
+	if err := json.Unmarshal(cur, &now); err != nil {
+		return fmt.Errorf("current report: %w", err)
+	}
+	oldCells := map[string]suiteCell{}
+	for _, c := range old.Results {
+		oldCells[c.key()] = c
+	}
+	fmt.Fprintf(w, "%-16s %12s %12s %8s\n", "cell", "prev", "now", "ratio")
+	for _, c := range now.Results {
+		o, ok := oldCells[c.key()]
+		if !ok {
+			fmt.Fprintf(w, "%-16s %12s %12.2fms %8s\n", c.key(), "—", c.Seconds*1e3, "new")
+			continue
+		}
+		fmt.Fprintf(w, "%-16s %10.2fms %10.2fms %7.2fx\n",
+			c.key(), o.Seconds*1e3, c.Seconds*1e3, c.Seconds/o.Seconds)
+	}
+	base := map[string]float64{} // scaling baselines: name@rows at P=1
+	for _, c := range now.Results {
+		if c.Parallel == 1 {
+			base[fmt.Sprintf("%s@%d", c.Name, c.Rows)] = c.Seconds
+		}
+	}
+	for _, c := range now.Results {
+		if c.Parallel > 1 {
+			if b := base[fmt.Sprintf("%s@%d", c.Name, c.Rows)]; b > 0 {
+				fmt.Fprintf(w, "scaling %-12s speedup vs P=1: %.2fx\n", c.key(), b/c.Seconds)
+			}
+		}
+	}
+	return nil
 }
 
 func runCheck(path string) {
@@ -182,4 +290,13 @@ func runCheck(path string) {
 		os.Exit(1)
 	}
 	fmt.Printf("%s: valid %s report\n", path, suiteSchema)
+	if *prevPath != "" {
+		prev, err := os.ReadFile(*prevPath)
+		if err != nil {
+			log.Fatalf("check: %v", err)
+		}
+		if err := diffReports(os.Stdout, prev, data); err != nil {
+			log.Fatalf("check: %v", err)
+		}
+	}
 }

@@ -18,6 +18,19 @@ func validReport() suiteReport {
 			})
 		}
 	}
+	large := rep.Scales[len(rep.Scales)-1]
+	for _, q := range scalingQueries {
+		for _, p := range scalingDegrees {
+			rep.Results = append(rep.Results, suiteCell{
+				Name:       q.name,
+				Rows:       large,
+				Parallel:   p,
+				Seconds:    0.002 / float64(p),
+				ResultRows: 1,
+				Metrics:    map[string]float64{"exec_morsels_total{op=\"ParallelScan\"}": 4},
+			})
+		}
+	}
 	return rep
 }
 
@@ -47,6 +60,12 @@ func TestCheckReportMalformed(t *testing.T) {
 		{"missing cell", func(r *suiteReport) { r.Results = r.Results[1:] }, "missing cell"},
 		{"zero seconds", func(r *suiteReport) { r.Results[0].Seconds = 0 }, "seconds"},
 		{"no metrics", func(r *suiteReport) { r.Results[0].Metrics = nil }, "metric deltas"},
+		{"missing scaling cell", func(r *suiteReport) {
+			r.Results = r.Results[:len(r.Results)-1]
+		}, "missing scaling cell"},
+		{"degree rows disagree", func(r *suiteReport) {
+			r.Results[len(r.Results)-1].ResultRows = 99
+		}, "result rows"},
 	}
 	for _, tc := range cases {
 		rep := validReport()
@@ -67,5 +86,34 @@ func TestCheckReportMalformed(t *testing.T) {
 	}
 	if len(checkReport([]byte("{not json"))) == 0 {
 		t.Fatal("garbage accepted")
+	}
+}
+
+// Diffing against an older artifact pairs shared cells, flags new ones, and
+// reports scaling speedups vs the P=1 baseline.
+func TestDiffReports(t *testing.T) {
+	prev := suiteReport{Schema: "vwbench/v1", Scales: []int{1000, 4000}}
+	prev.Results = append(prev.Results, suiteCell{
+		Name: "scan", Rows: 1000, Seconds: 0.004,
+		Metrics: map[string]float64{"x": 1},
+	})
+	cur := validReport()
+	var buf strings.Builder
+	if err := diffReports(&buf, marshal(t, prev), marshal(t, cur)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"scan@1000",             // shared cell diffed
+		"new",                   // cells absent from prev flagged, not failed
+		"scaling pscan@4000/P4", // speedup line per parallel cell
+		"speedup vs P=1: 4.00x", // 0.002/P timings → P× speedup
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("diff output lacks %q:\n%s", want, out)
+		}
+	}
+	if err := diffReports(&buf, []byte("nope"), marshal(t, cur)); err == nil {
+		t.Fatal("unparseable previous report accepted")
 	}
 }

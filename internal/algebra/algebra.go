@@ -41,15 +41,21 @@ type ScanRange struct {
 // String renders the range for plan display.
 func (r ScanRange) String() string { return types.FormatRange("$", r.Col, r.Lo, r.Hi) }
 
-// Scan reads columns of a stable table; Part/Parts select a row-group
-// partition for parallel plans (0/1 = whole table).
+// Scan reads columns of a stable table. In parallel plans the parallelizer
+// clones the scan into P morsel workers: all clones share MorselID (one
+// run-time work queue of row-group morsels) and each carries its Worker
+// slot. Morsels == 0 means a plain serial scan.
 type Scan struct {
 	Table     string
 	Structure string
 	Cols      []string // physical column names requested
 	Out       *types.Schema
-	Part      int
-	Parts     int
+	// Morsels is the worker count of the morsel queue this scan belongs to
+	// (0 = serial); MorselID links sibling workers to the same queue and
+	// Worker is this clone's slot in it.
+	Morsels  int
+	MorselID int
+	Worker   int
 	// Ranges are sargable block-skipping bounds on output columns. Value
 	// columns keep their positions through NULL decomposition, so the
 	// rewriter carries them unchanged.
@@ -68,8 +74,8 @@ func (s *Scan) WithChildren(ch []Node) Node { return s }
 // Line implements Node.
 func (s *Scan) Line() string {
 	part := ""
-	if s.Parts > 1 {
-		part = fmt.Sprintf(" part %d/%d", s.Part, s.Parts)
+	if s.Morsels > 1 {
+		part = fmt.Sprintf(" morsel worker %d/%d", s.Worker, s.Morsels)
 	}
 	rng := ""
 	if len(s.Ranges) > 0 {
@@ -364,6 +370,68 @@ func (x *XchgUnion) WithChildren(ch []Node) Node { return &XchgUnion{Kids: ch} }
 
 // Line implements Node.
 func (x *XchgUnion) Line() string { return fmt.Sprintf("XchgUnion(%d)", len(x.Kids)) }
+
+// XchgMerge is the order-preserving exchange: each child is a parallel
+// fragment already sorted on Keys (a per-worker local sort or top-N) and
+// the merge keeps the union globally sorted — how the parallelizer
+// parallelizes Sort and TopN without a serial re-sort.
+type XchgMerge struct {
+	Kids []Node
+	Keys []SortKey
+}
+
+// Schema implements Node.
+func (x *XchgMerge) Schema() *types.Schema { return x.Kids[0].Schema() }
+
+// Children implements Node.
+func (x *XchgMerge) Children() []Node { return x.Kids }
+
+// WithChildren implements Node.
+func (x *XchgMerge) WithChildren(ch []Node) Node { return &XchgMerge{Kids: ch, Keys: x.Keys} }
+
+// Line implements Node.
+func (x *XchgMerge) Line() string { return fmt.Sprintf("XchgMerge(%d, %v)", len(x.Kids), x.Keys) }
+
+// ParallelHashJoin is a hash join whose build side runs once (shared by
+// every worker) while P probe fragments — morsel-scan chains — probe it
+// concurrently, merged by an exchange union. Children are [Build,
+// Probes...]; the probe fragments all share the probe-side schema.
+type ParallelHashJoin struct {
+	Build        Node
+	Probes       []Node
+	Kind         JoinKind
+	LeftKeys     []int
+	RightKeys    []int
+	LeftKeyNull  int
+	RightKeyNull int
+	WithMatch    bool
+}
+
+// Schema implements Node: identical to the equivalent serial HashJoin.
+func (j *ParallelHashJoin) Schema() *types.Schema {
+	eq := &HashJoin{Left: j.Probes[0], Right: j.Build, Kind: j.Kind,
+		WithMatch: j.WithMatch}
+	return eq.Schema()
+}
+
+// Children implements Node.
+func (j *ParallelHashJoin) Children() []Node {
+	return append([]Node{j.Build}, j.Probes...)
+}
+
+// WithChildren implements Node.
+func (j *ParallelHashJoin) WithChildren(ch []Node) Node {
+	out := *j
+	out.Build = ch[0]
+	out.Probes = ch[1:]
+	return &out
+}
+
+// Line implements Node.
+func (j *ParallelHashJoin) Line() string {
+	return fmt.Sprintf("ParallelHashJoin%s(lk=%v, rk=%v, probes=%d)",
+		j.Kind, j.LeftKeys, j.RightKeys, len(j.Probes))
+}
 
 // Values is a literal relation.
 type Values struct {

@@ -72,10 +72,10 @@ func TestFormatAndWalk(t *testing.T) {
 	if count != 3 {
 		t.Fatalf("walk visited %d", count)
 	}
-	// Partitioned scan renders its part.
+	// Morsel-worker scan renders its slot.
 	ps := testScan()
-	ps.Part, ps.Parts = 2, 4
-	if !strings.Contains(ps.Line(), "part 2/4") {
+	ps.Worker, ps.Morsels = 2, 4
+	if !strings.Contains(ps.Line(), "morsel worker 2/4") {
 		t.Fatalf("scan line: %s", ps.Line())
 	}
 }

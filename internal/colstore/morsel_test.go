@@ -1,0 +1,103 @@
+package colstore
+
+import (
+	"testing"
+
+	"vectorwise/internal/types"
+	"vectorwise/internal/vec"
+)
+
+// A morsel scanner starts empty and serves exactly the sought row group per
+// SeekGroup, with row bases matching the group's global position — even
+// when groups are visited out of order.
+func TestMorselScannerSeekGroup(t *testing.T) {
+	rows := 2*BlockRows + 777 // 3 groups, last one partial
+	tab := fillTable(t, rows)
+	sc, err := tab.NewMorselScanner([]int{0}, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.NumGroups() != 3 {
+		t.Fatalf("groups = %d", sc.NumGroups())
+	}
+	b := vec.NewBatch(sc.Kinds(), 512)
+	// Before any seek, the scanner is exhausted (no assigned morsel).
+	if _, _, done, err := sc.Next(b); err != nil || !done {
+		t.Fatalf("fresh morsel scanner served rows (done=%v, err=%v)", done, err)
+	}
+	groupRows := func(g int) (first, count int64) {
+		sc.SeekGroup(g)
+		first = -1
+		for {
+			start, n, done, err := sc.Next(b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if done {
+				return first, count
+			}
+			if first < 0 {
+				first = start
+				if b.Vecs[0].I64[0] != start {
+					t.Fatalf("group %d: id %d at row base %d", g, b.Vecs[0].I64[0], start)
+				}
+			}
+			count += int64(n)
+		}
+	}
+	// Visit out of order: 2, 0, 1 — like a stealing worker would.
+	for _, tc := range []struct {
+		g            int
+		first, count int64
+	}{
+		{2, 2 * BlockRows, 777},
+		{0, 0, BlockRows},
+		{1, BlockRows, BlockRows},
+	} {
+		first, count := groupRows(tc.g)
+		if first != tc.first || count != tc.count {
+			t.Fatalf("group %d: first=%d count=%d, want first=%d count=%d",
+				tc.g, first, count, tc.first, tc.count)
+		}
+	}
+	// Draining a group leaves the scanner exhausted until the next seek.
+	if _, _, done, _ := sc.Next(b); !done {
+		t.Fatal("scanner kept serving past its morsel")
+	}
+}
+
+// SeekGroup respects block-skipping filters: a sought group outside the
+// filter range yields no rows but counts toward the skip statistics.
+func TestMorselScannerSeekGroupWithFilters(t *testing.T) {
+	rows := 3 * BlockRows
+	tab := fillTable(t, rows)
+	lo := types.NewInt64(int64(BlockRows + 5))
+	hi := types.NewInt64(int64(BlockRows + 104))
+	sc, err := tab.NewMorselScanner([]int{0}, 512, RangeFilter{Col: 0, Lo: &lo, Hi: &hi})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := vec.NewBatch(sc.Kinds(), 512)
+	total := 0
+	for g := 0; g < sc.NumGroups(); g++ {
+		sc.SeekGroup(g)
+		for {
+			_, n, done, err := sc.Next(b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if done {
+				break
+			}
+			total += n
+		}
+	}
+	// Only group 1 overlaps [lo, hi]; it must flow whole (residual Select
+	// upstream trims it), groups 0 and 2 are skipped.
+	if total != BlockRows {
+		t.Fatalf("filtered morsel scan saw %d rows, want %d", total, BlockRows)
+	}
+	if sc.SkippedGroups() != 2 || sc.TotalGroups() != 3 {
+		t.Fatalf("skip stats = %d/%d, want 2/3", sc.SkippedGroups(), sc.TotalGroups())
+	}
+}

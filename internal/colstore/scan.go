@@ -32,8 +32,10 @@ type Scanner struct {
 	nGroups int
 
 	group   int // current row group
+	limit   int // first group past the scan window (exclusive)
 	offset  int // row offset within the group
 	rowBase int64
+	prefix  []int64       // per-group starting SIDs (built on first SeekGroup)
 	decoded []*vec.Vector // decoded vectors per projected column
 	loaded  bool
 	skipped int
@@ -66,9 +68,46 @@ func (t *Table) NewScannerPart(cols []int, vecSize, part, parts int, filters ...
 	}
 	s.group = lo
 	s.rowBase = base
-	s.nGroups = hi
+	s.limit = hi
 	s.total = hi - lo
 	return s, nil
+}
+
+// NewMorselScanner creates a scanner that starts exhausted: it serves one
+// row-group morsel at a time via SeekGroup, reusing its decode buffers
+// across seeks. This is the run-time granule of the morsel-driven parallel
+// scan — workers pull group numbers from a shared queue and reposition.
+func (t *Table) NewMorselScanner(cols []int, vecSize int, filters ...RangeFilter) (*Scanner, error) {
+	s, err := t.NewScanner(cols, vecSize, filters...)
+	if err != nil {
+		return nil, err
+	}
+	s.limit = 0
+	s.total = 0
+	return s, nil
+}
+
+// NumGroups reports the number of row groups in the scanner's snapshot —
+// the morsels SeekGroup accepts.
+func (s *Scanner) NumGroups() int { return s.nGroups }
+
+// SeekGroup repositions the scanner to serve exactly row group g (it must
+// be < NumGroups); subsequent Next calls drain that group and report done.
+// Each seek adds one group to the TotalGroups denominator, so per-worker
+// skip accounting stays exact under morsel dispatch.
+func (s *Scanner) SeekGroup(g int) {
+	if s.prefix == nil {
+		s.prefix = make([]int64, s.nGroups+1)
+		for i := 0; i < s.nGroups; i++ {
+			s.prefix[i+1] = s.prefix[i] + int64(s.groupRows(i))
+		}
+	}
+	s.group = g
+	s.limit = g + 1
+	s.offset = 0
+	s.loaded = false
+	s.rowBase = s.prefix[g]
+	s.total++
 }
 
 // NewScanner creates a scanner over the given column indexes with batches
@@ -97,6 +136,7 @@ func (t *Table) NewScanner(cols []int, vecSize int, filters ...RangeFilter) (*Sc
 	if len(t.cols) > 0 {
 		s.nGroups = len(t.cols[0].Blocks)
 	}
+	s.limit = s.nGroups
 	s.total = s.nGroups
 	s.decoded = make([]*vec.Vector, len(cols))
 	for i, c := range cols {
@@ -126,7 +166,7 @@ func (s *Scanner) TotalGroups() int { return s.total }
 // are owned by the scanner and valid until the next call.
 func (s *Scanner) Next(b *vec.Batch) (start int64, n int, done bool, err error) {
 	for {
-		if s.group >= s.nGroups {
+		if s.group >= s.limit {
 			return 0, 0, true, nil
 		}
 		gRows := s.groupRows(s.group)

@@ -1,0 +1,105 @@
+package engine
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"vectorwise/internal/colstore"
+	"vectorwise/internal/types"
+)
+
+// addDim loads a second multi-block table join-compatible with pts.
+func addDim(t *testing.T, db *DB, blocks int) {
+	t.Helper()
+	mustExec(t, db, `CREATE TABLE dim (d BIGINT NOT NULL, w DOUBLE NOT NULL)`)
+	rows := blocks * colstore.BlockRows
+	err := db.LoadBatchFunc("dim", func(emit func([]types.Value) error) error {
+		for i := 0; i < rows; i++ {
+			if err := emit([]types.Value{
+				types.NewInt64(int64(i)),
+				types.NewFloat64(float64(i) * 2),
+			}); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func explainPhysical(t *testing.T, db *DB, q string) string {
+	t.Helper()
+	return mustExec(t, db, `EXPLAIN PHYSICAL `+q).Text
+}
+
+func TestParallelSortMatchesSerial(t *testing.T) {
+	db := rangeDB(t, 5)
+	q := `SELECT k, v FROM pts WHERE k < ` + strconv.Itoa(2*colstore.BlockRows) +
+		` ORDER BY v DESC, k`
+	serial := mustExec(t, db, q)
+	parallel := mustExec(t, db, q+` WITH (PARALLEL=4)`)
+	if len(serial.Rows) != 2*colstore.BlockRows {
+		t.Fatalf("serial rows = %d", len(serial.Rows))
+	}
+	sameRows(t, serial, parallel)
+	exp := explainPhysical(t, db, q+` WITH (PARALLEL=4)`)
+	if !strings.Contains(exp, "XchgMerge") || !strings.Contains(exp, "ParallelScan") {
+		t.Fatalf("sort not parallelized through XchgMerge:\n%s", exp)
+	}
+}
+
+func TestParallelTopNMatchesSerial(t *testing.T) {
+	db := rangeDB(t, 5)
+	q := `SELECT k, v FROM pts ORDER BY v DESC, k LIMIT 9`
+	serial := mustExec(t, db, q)
+	parallel := mustExec(t, db, q+` WITH (PARALLEL=4)`)
+	if len(serial.Rows) != 9 {
+		t.Fatalf("serial rows = %d", len(serial.Rows))
+	}
+	sameRows(t, serial, parallel)
+	exp := explainPhysical(t, db, q+` WITH (PARALLEL=4)`)
+	if !strings.Contains(exp, "XchgMerge") {
+		t.Fatalf("TopN not parallelized through XchgMerge:\n%s", exp)
+	}
+}
+
+func TestParallelHashJoinMatchesSerial(t *testing.T) {
+	db := rangeDB(t, 5)
+	addDim(t, db, 2)
+	q := `SELECT COUNT(*), SUM(v), MAX(w) FROM pts JOIN dim ON pts.k = dim.d`
+	serial := mustExec(t, db, q)
+	parallel := mustExec(t, db, q+` WITH (PARALLEL=4)`)
+	sameRows(t, serial, parallel)
+	if got := serial.Rows[0][0].I64; got != int64(2*colstore.BlockRows) {
+		t.Fatalf("join count = %d, want %d", got, 2*colstore.BlockRows)
+	}
+	exp := explainPhysical(t, db, q+` WITH (PARALLEL=4)`)
+	if !strings.Contains(exp, "ParallelHashJoin") {
+		t.Fatalf("join not parallelized:\n%s", exp)
+	}
+}
+
+// PROFILE reports per-worker morsel counts on ParallelScan operators, and
+// the engine-wide morsel counter is visible through sys.metrics.
+func TestProfileAndMetricsReportMorsels(t *testing.T) {
+	db := rangeDB(t, 4)
+	res := mustExec(t, db, `PROFILE SELECT COUNT(*) FROM pts WITH (PARALLEL=4)`)
+	if !strings.Contains(res.Text, "morsels=") {
+		t.Fatalf("profile carries no morsel counters:\n%s", res.Text)
+	}
+	m := mustExec(t, db,
+		`SELECT name, value FROM sys.metrics WHERE name LIKE 'exec_morsels_total%'`)
+	if len(m.Rows) == 0 {
+		t.Fatal("exec_morsels_total missing from sys.metrics")
+	}
+	var total float64
+	for _, r := range m.Rows {
+		total += r[1].F64
+	}
+	if total < 4 {
+		t.Fatalf("exec_morsels_total = %v, want >= 4", total)
+	}
+}

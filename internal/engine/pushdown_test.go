@@ -142,41 +142,76 @@ func TestParallelRangePushdownMatchesSerial(t *testing.T) {
 	}
 }
 
-// Regression: partsAvailable consults PendingOps at compile time, but a
-// write can commit before Instantiate. The partitioned ScanSource must then
-// degrade to the serial PDT-merge scan on part 0 (empty elsewhere) instead
-// of failing the query.
-func TestPartitionedScanDeltaRaceDegrades(t *testing.T) {
-	db := rangeDB(t, 3)
-	stable := 3 * colstore.BlockRows
-	// Commit a delta after "compile time": the table now has pending ops.
+// Regression for the old compile-vs-run delta race: the retired partition
+// hint consulted PendingOps at compile time, so a delta committed before
+// Instantiate collapsed a partitioned plan to serial-on-part-0. Morsel
+// scheduling decides at run time instead — a pending delta must neither
+// shrink the plan's degree below 2 nor lose rows.
+func TestParallelScanDeltaKeepsDegree(t *testing.T) {
+	db := rangeDB(t, 4)
+	stable := 4 * colstore.BlockRows
+	// Commit a delta ("concurrent INSERT"): the snapshot now carries PDTs.
 	mustExec(t, db, `INSERT INTO pts VALUES (`+strconv.Itoa(stable)+`, 0.0)`)
+
+	// The plan keeps its parallel shape — degree stays > 1 despite deltas.
+	q := `SELECT COUNT(*), MAX(k) FROM pts WITH (PARALLEL=4)`
+	exp := mustExec(t, db, `EXPLAIN PHYSICAL `+q)
+	if !regexp.MustCompile(`Xchg\(degree=4\)`).MatchString(exp.Text) ||
+		!regexp.MustCompile(`ParallelScan\(`).MatchString(exp.Text) {
+		t.Fatalf("delta forced the plan serial:\n%s", exp.Text)
+	}
+
+	// The run-time morsel source serves the delta-merged stream through one
+	// worker; the result must still include every row.
+	res := mustExec(t, db, q)
+	if got := res.Rows[0][0].I64; got != int64(stable+1) {
+		t.Fatalf("parallel count with delta = %d, want %d", got, stable+1)
+	}
+	if got := res.Rows[0][1].I64; got != int64(stable) {
+		t.Fatalf("parallel max with delta = %d, want %d", got, stable)
+	}
+
+	// Direct check of the run-time decision: the session's morsel source
+	// degrades to a single serial stream exactly one worker can claim.
 	session := newQuerySession(db)
 	defer session.close()
-	totalRows := 0
-	for part := 0; part < 4; part++ {
-		src, err := session.ScanSource("pts", []int{0}, part, 4, 0, nil)
-		if err != nil {
-			t.Fatalf("part %d: %v", part, err)
-		}
-		b := newBatchFor(src)
-		partRows := 0
-		for {
-			_, n, done, err := src.Next(b)
-			if err != nil {
-				t.Fatalf("part %d next: %v", part, err)
-			}
-			if done {
-				break
-			}
-			partRows += n
-		}
-		if part > 0 && partRows != 0 {
-			t.Fatalf("part %d served %d rows, want 0 (degraded serial scan)", part, partRows)
-		}
-		totalRows += partRows
+	src, err := session.MorselSource("pts", []int{0}, 0, nil)
+	if err != nil {
+		t.Fatal(err)
 	}
-	if totalRows != stable+1 {
-		t.Fatalf("degraded scan saw %d rows, want %d (stable + delta)", totalRows, stable+1)
+	if src.NumMorsels() != 0 {
+		t.Fatalf("delta snapshot offered %d morsels, want serial fallback", src.NumMorsels())
+	}
+	serial, err := src.Serial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := newBatchFor(serial)
+	rows := 0
+	for {
+		_, n, done, err := serial.Next(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if done {
+			break
+		}
+		rows += n
+	}
+	if rows != stable+1 {
+		t.Fatalf("serial fallback saw %d rows, want %d (stable + delta)", rows, stable+1)
+	}
+
+	// And once the delta is checkpointed into stable storage, the same
+	// session API serves real morsels again.
+	mustExec(t, db, `CHECKPOINT pts`)
+	session2 := newQuerySession(db)
+	defer session2.close()
+	src2, err := session2.MorselSource("pts", []int{0}, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src2.NumMorsels() < 4 {
+		t.Fatalf("flushed table offers %d morsels, want >= 4", src2.NumMorsels())
 	}
 }

@@ -19,7 +19,6 @@ import (
 	"vectorwise/internal/rowengine"
 	"vectorwise/internal/sql"
 	"vectorwise/internal/txn"
-	"vectorwise/internal/types"
 	"vectorwise/internal/vec"
 	"vectorwise/internal/xcompile"
 )
@@ -70,8 +69,8 @@ func (db *DB) compileSelect(s *sql.SelectStmt) (*compiled, error) {
 	t = time.Now()
 	rw, err := rewriter.Rewrite(alg, rewriter.Options{
 		Parallel: par,
-		PartsHint: func(table string) int {
-			return db.partsAvailable(table)
+		GroupsHint: func(table string) int {
+			return db.groupsAvailable(table)
 		},
 	})
 	if err != nil {
@@ -88,14 +87,16 @@ func (db *DB) compileSelect(s *sql.SelectStmt) (*compiled, error) {
 	return c, nil
 }
 
-// partsAvailable reports how many row-group partitions a table offers for
-// parallel scans; 1 when deltas force the serial (PDT-merging) path.
-func (db *DB) partsAvailable(table string) int {
+// groupsAvailable reports how many row-group morsels a table's stable
+// storage offers, capping the parallel degree. Deliberately NOT sensitive
+// to pending deltas: whether a scan can really run morsel-parallel is
+// decided at Open time inside the query's snapshot (MorselSource), so a
+// write racing between compile and run changes the run-time stream, never
+// the plan shape — the compile-vs-run delta race the old partition hint
+// suffered from is gone.
+func (db *DB) groupsAvailable(table string) int {
 	e, err := db.entry(table)
 	if err != nil || e.store == nil {
-		return 1
-	}
-	if e.store.PendingOps() > 0 {
 		return 1
 	}
 	blocks := e.store.Stable().NumBlocks()
@@ -284,44 +285,57 @@ func (qs *querySession) Heap(table string) (*rowengine.HeapTable, error) {
 // scanner on delta-free paths; txn.Scan drops them itself when the
 // snapshot carries deltas (PDT merging is positional — every stable row
 // must flow). The residual Select in the plan keeps results exact.
-func (qs *querySession) ScanSource(table string, cols []int, part, parts, vecSize int, filters []colstore.RangeFilter) (pdt.BatchSource, error) {
+func (qs *querySession) ScanSource(table string, cols []int, vecSize int, filters []colstore.RangeFilter) (pdt.BatchSource, error) {
 	tx, err := qs.txFor(table)
 	if err != nil {
 		return nil, err
 	}
-	if parts > 1 {
-		if !tx.DeltaFree() {
-			// The plan was partitioned from a delta-free compile-time hint,
-			// but a write committed before Instantiate. Degrade gracefully:
-			// part 0 serves the whole PDT-merged serial scan (filters off),
-			// the other parts come up empty.
-			if part == 0 {
-				return tx.Scan(cols, vecSize)
-			}
-			return &emptySource{kinds: snapshotKinds(tx, cols)}, nil
-		}
-		return tx.StableSnapshot().NewScannerPart(cols, vecSize, part, parts, filters...)
-	}
 	return tx.Scan(cols, vecSize, filters...)
 }
 
-// snapshotKinds resolves the vector kinds of a projection over a
-// transaction's stable snapshot.
-func snapshotKinds(tx *txn.Txn, cols []int) []types.Kind {
-	sch := tx.StableSnapshot().Schema()
-	out := make([]types.Kind, len(cols))
-	for i, c := range cols {
-		out[i] = sch.Cols[c].Type.Kind
+// MorselSource implements physical.Env: the run-time view of a parallel
+// scan, decided inside the query's snapshot (after every compile-time
+// decision). A delta-free snapshot offers its row groups as morsels with an
+// independent repositionable scanner per worker; a snapshot carrying deltas
+// degrades to one serial PDT-merged stream that a single worker claims —
+// the plan keeps its parallel shape either way, so a write committing
+// between compile and run can no longer strand a partitioned plan.
+func (qs *querySession) MorselSource(table string, cols []int, vecSize int, filters []colstore.RangeFilter) (exec.MorselSource, error) {
+	tx, err := qs.txFor(table)
+	if err != nil {
+		return nil, err
 	}
-	return out
+	if !tx.DeltaFree() {
+		src, err := tx.Scan(cols, vecSize) // filters off: every stable row must flow
+		if err != nil {
+			return nil, err
+		}
+		return exec.SerialMorselSource(src), nil
+	}
+	return &stableMorselSource{snap: tx.StableSnapshot(), cols: cols,
+		vecSize: vecSize, filters: filters}, nil
 }
 
-// emptySource is a BatchSource with no rows — the degenerate partition of a
-// parallel scan that fell back to the serial delta path.
-type emptySource struct{ kinds []types.Kind }
+// stableMorselSource serves a delta-free stable snapshot as row-group
+// morsels. Each worker gets its own scanner (independent decode buffers);
+// they coordinate purely through the morsel queue.
+type stableMorselSource struct {
+	snap    *colstore.Table
+	cols    []int
+	vecSize int
+	filters []colstore.RangeFilter
+}
 
-// Kinds implements pdt.BatchSource.
-func (e *emptySource) Kinds() []types.Kind { return e.kinds }
+// NumMorsels implements exec.MorselSource.
+func (s *stableMorselSource) NumMorsels() int { return s.snap.NumBlocks() }
 
-// Next implements pdt.BatchSource.
-func (e *emptySource) Next(*vec.Batch) (int64, int, bool, error) { return 0, 0, true, nil }
+// Worker implements exec.MorselSource.
+func (s *stableMorselSource) Worker() (exec.MorselScanner, error) {
+	return s.snap.NewMorselScanner(s.cols, s.vecSize, s.filters...)
+}
+
+// Serial implements exec.MorselSource (only used when the snapshot has no
+// row groups at all).
+func (s *stableMorselSource) Serial() (pdt.BatchSource, error) {
+	return s.snap.NewScanner(s.cols, s.vecSize, s.filters...)
+}

@@ -47,6 +47,22 @@ type Ctx struct {
 	Mode expr.Mode
 	// Profile enables per-operator counters (claim C12: monitoring).
 	Profile bool
+
+	// shared links sibling operators of one parallel fragment (a morsel
+	// queue shared by P scan workers), keyed by the plan-time spec that
+	// spawned them. Scoped to the Ctx, so every execution gets fresh state.
+	shared sync.Map
+}
+
+// SharedState returns the state registered under key, creating it with mk
+// on first use. Safe to call concurrently from exchange goroutines; exactly
+// one value wins and all callers see it.
+func (c *Ctx) SharedState(key any, mk func() any) any {
+	if v, ok := c.shared.Load(key); ok {
+		return v
+	}
+	v, _ := c.shared.LoadOrStore(key, mk())
+	return v
 }
 
 // NewCtx builds a context with defaults.
@@ -75,13 +91,16 @@ func (c *Ctx) poll() error {
 }
 
 // OpStats are per-operator profile counters. SkippedGroups/TotalGroups are
-// populated only for scans whose source supports min/max block skipping.
+// populated only for scans whose source supports min/max block skipping;
+// Morsels/MorselSteals only for morsel-driven scan workers.
 type OpStats struct {
 	Batches       int64
 	Rows          int64
 	Nanos         int64
 	SkippedGroups int64
 	TotalGroups   int64
+	Morsels       int64
+	MorselSteals  int64
 }
 
 // GroupSkipping is implemented by batch sources that prune row groups with
@@ -96,6 +115,13 @@ type GroupSkipping interface {
 // implements it by delegating to its source).
 type skipReporter interface {
 	SkipStats() (skipped, total int64)
+}
+
+// morselReporter is implemented by morsel-driven scan workers; the
+// profiling shell surfaces the counters as "morsels=N (stolen=K)" so load
+// balance is observable per worker.
+type morselReporter interface {
+	MorselStats() (morsels, steals int64)
 }
 
 // opClassMetrics are the always-on per-operator-class instruments
@@ -182,6 +208,9 @@ func (p *Profiled) Stats() OpStats {
 	}
 	if sk, ok := p.Child.(skipReporter); ok {
 		st.SkippedGroups, st.TotalGroups = sk.SkipStats()
+	}
+	if mr, ok := p.Child.(morselReporter); ok {
+		st.Morsels, st.MorselSteals = mr.MorselStats()
 	}
 	return st
 }

@@ -3,6 +3,7 @@ package exec
 import (
 	"fmt"
 	"math/bits"
+	"sync"
 
 	"vectorwise/internal/primitives"
 	"vectorwise/internal/types"
@@ -59,16 +60,16 @@ type HashJoin struct {
 	// Null-indicator columns for AntiNullAware; -1 when keys are
 	// non-nullable.
 	LeftKeyNull, RightKeyNull int
+	// Shared supplies a pre-built (or built-once-on-first-Open) hash table
+	// instead of draining Right — the parallel probe case, where P probe
+	// workers read one build. Right is nil when Shared is set.
+	Shared *SharedBuild
 
 	ctx *Ctx
 
 	// Build state.
-	build      []*vec.Vector // compacted build columns
-	buildRows  int
-	heads      []int32
-	next       []int32
-	mask       uint64
-	hasNullKey bool
+	tbl        *hashTable
+	buildKinds []types.Kind
 	cmps       []func(buildRow int32, probe *vec.Batch, phys int32) bool
 
 	// Probe state.
@@ -88,20 +89,146 @@ type HashJoin struct {
 func NewHashJoin(left, right Operator, leftKeys, rightKeys []int, jt JoinType) *HashJoin {
 	h := &HashJoin{Left: left, Right: right, LeftKeys: leftKeys, RightKeys: rightKeys,
 		Type: jt, LeftKeyNull: -1, RightKeyNull: -1}
+	h.buildKinds = right.Kinds()
+	h.kinds = joinOutKinds(left.Kinds(), h.buildKinds, jt)
+	return h
+}
+
+// NewHashJoinShared builds a probe-side hash join over a shared build.
+func NewHashJoinShared(left Operator, shared *SharedBuild, leftKeys, rightKeys []int, jt JoinType) *HashJoin {
+	h := &HashJoin{Left: left, Shared: shared, LeftKeys: leftKeys, RightKeys: rightKeys,
+		Type: jt, LeftKeyNull: -1, RightKeyNull: -1}
+	h.buildKinds = shared.Source.Kinds()
+	h.kinds = joinOutKinds(left.Kinds(), h.buildKinds, jt)
+	return h
+}
+
+func joinOutKinds(left, right []types.Kind, jt JoinType) []types.Kind {
 	switch jt {
 	case Inner:
-		h.kinds = append(append([]types.Kind{}, left.Kinds()...), right.Kinds()...)
+		return append(append([]types.Kind{}, left...), right...)
 	case LeftOuter:
-		h.kinds = append(append([]types.Kind{}, left.Kinds()...), right.Kinds()...)
-		h.kinds = append(h.kinds, types.KindBool)
+		out := append(append([]types.Kind{}, left...), right...)
+		return append(out, types.KindBool)
 	default:
-		h.kinds = append([]types.Kind{}, left.Kinds()...)
+		return append([]types.Kind{}, left...)
 	}
-	return h
 }
 
 // Kinds implements Operator.
 func (h *HashJoin) Kinds() []types.Kind { return h.kinds }
+
+// hashTable is a drained build side plus its chained bucket array — the
+// read-only structure probe workers share in parallel joins.
+type hashTable struct {
+	cols       []*vec.Vector // compacted build columns
+	rows       int
+	heads      []int32
+	next       []int32
+	mask       uint64
+	hasNullKey bool
+}
+
+// buildHashTable drains src (already opened) into a chained hash table:
+// power-of-two buckets ≥ 2·rows. trackNull records whether any build key's
+// null indicator (keyNull) fires — the AntiNullAware (NOT IN) poison bit.
+func buildHashTable(ctx *Ctx, src Operator, keys []int, keyNull int, trackNull bool) (*hashTable, error) {
+	kinds := src.Kinds()
+	t := &hashTable{cols: make([]*vec.Vector, len(kinds))}
+	for i, k := range kinds {
+		t.cols[i] = vec.New(k, ctx.vecSize())
+	}
+	for {
+		if err := ctx.poll(); err != nil {
+			return nil, err
+		}
+		b, err := src.Next()
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			break
+		}
+		if trackNull && keyNull >= 0 {
+			if primitives.CountTrue(b.Vecs[keyNull].Bool, b.Sel, b.Full()) > 0 {
+				t.hasNullKey = true
+			}
+		}
+		for c := range t.cols {
+			appendSelected(t.cols[c], b.Vecs[c], b.Sel, b.Full())
+		}
+	}
+	if len(t.cols) > 0 {
+		t.rows = t.cols[0].Len()
+	}
+	nb := 2 * t.rows
+	if nb < 16 {
+		nb = 16
+	}
+	shift := bits.Len(uint(nb - 1))
+	nBuckets := 1 << shift
+	t.mask = uint64(nBuckets - 1)
+	t.heads = make([]int32, nBuckets)
+	for i := range t.heads {
+		t.heads[i] = -1
+	}
+	t.next = make([]int32, t.rows)
+	if t.rows > 0 {
+		hv := make([]uint64, t.rows)
+		if err := hashKeys(hv, t.cols, keys, nil, t.rows); err != nil {
+			return nil, err
+		}
+		for i := 0; i < t.rows; i++ {
+			bkt := hv[i] & t.mask
+			t.next[i] = t.heads[bkt]
+			t.heads[bkt] = int32(i)
+		}
+	}
+	return t, nil
+}
+
+// SharedBuild builds one hash table from Source exactly once — whichever
+// probe worker opens first pays the build; the rest block on it and then
+// probe the same read-only table (the "shared build" of morsel-driven
+// parallel joins).
+type SharedBuild struct {
+	Source    Operator
+	Keys      []int
+	KeyNull   int
+	TrackNull bool
+
+	once sync.Once
+	tbl  *hashTable
+	err  error
+}
+
+// NewSharedBuild wraps the build-side operator tree.
+func NewSharedBuild(source Operator, keys []int, keyNull int, trackNull bool) *SharedBuild {
+	return &SharedBuild{Source: source, Keys: keys, KeyNull: keyNull, TrackNull: trackNull}
+}
+
+// Table returns the hash table, building it on first call.
+func (s *SharedBuild) Table(ctx *Ctx) (*hashTable, error) {
+	s.once.Do(func() {
+		if err := s.Source.Open(ctx); err != nil {
+			s.Source.Close()
+			s.err = err
+			return
+		}
+		s.tbl, s.err = buildHashTable(ctx, s.Source, s.Keys, s.KeyNull, s.TrackNull)
+		s.Source.Close()
+	})
+	return s.tbl, s.err
+}
+
+// Close releases the build source if no probe ever triggered the build
+// (e.g. every probe's Open failed); safe to call any number of times.
+func (s *SharedBuild) Close() {
+	s.once.Do(func() {
+		s.Source.Close()
+		s.err = fmt.Errorf("exec: shared build closed before use")
+	})
+}
 
 // Open implements Operator: drains the build side and assembles the table.
 func (h *HashJoin) Open(ctx *Ctx) error {
@@ -112,63 +239,24 @@ func (h *HashJoin) Open(ctx *Ctx) error {
 	if err := h.Left.Open(ctx); err != nil {
 		return err
 	}
-	if err := h.Right.Open(ctx); err != nil {
-		return err
-	}
-	rk := h.Right.Kinds()
-	h.build = make([]*vec.Vector, len(rk))
-	for i, k := range rk {
-		h.build[i] = vec.New(k, ctx.vecSize())
-	}
-	// Drain build side.
-	for {
-		if err := ctx.poll(); err != nil {
-			return err
-		}
-		b, err := h.Right.Next()
+	if h.Shared != nil {
+		tbl, err := h.Shared.Table(ctx)
 		if err != nil {
 			return err
 		}
-		if b == nil {
-			break
-		}
-		if h.Type == AntiNullAware && h.RightKeyNull >= 0 {
-			if primitives.CountTrue(b.Vecs[h.RightKeyNull].Bool, b.Sel, b.Full()) > 0 {
-				h.hasNullKey = true
-			}
-		}
-		for c := range h.build {
-			appendSelected(h.build[c], b.Vecs[c], b.Sel, b.Full())
-		}
-	}
-	h.buildRows = h.build[0].Len()
-	if len(h.build) == 0 {
-		h.buildRows = 0
-	}
-	// Hash table: power-of-two buckets ≥ 2·rows.
-	nb := 2 * h.buildRows
-	if nb < 16 {
-		nb = 16
-	}
-	shift := bits.Len(uint(nb - 1))
-	nBuckets := 1 << shift
-	h.mask = uint64(nBuckets - 1)
-	h.heads = make([]int32, nBuckets)
-	for i := range h.heads {
-		h.heads[i] = -1
-	}
-	h.next = make([]int32, h.buildRows)
-	if h.buildRows > 0 {
-		hv := make([]uint64, h.buildRows)
-		if err := hashKeys(hv, h.build, h.RightKeys, nil, h.buildRows); err != nil {
+		h.tbl = tbl
+	} else {
+		if err := h.Right.Open(ctx); err != nil {
 			return err
 		}
-		for i := 0; i < h.buildRows; i++ {
-			bkt := hv[i] & h.mask
-			h.next[i] = h.heads[bkt]
-			h.heads[bkt] = int32(i)
+		tbl, err := buildHashTable(ctx, h.Right, h.RightKeys, h.RightKeyNull,
+			h.Type == AntiNullAware)
+		if err != nil {
+			return err
 		}
+		h.tbl = tbl
 	}
+	rk := h.buildKinds
 	// Key comparators.
 	lk := h.Left.Kinds()
 	h.cmps = make([]func(int32, *vec.Batch, int32) bool, len(h.LeftKeys))
@@ -177,7 +265,7 @@ func (h *HashJoin) Open(ctx *Ctx) error {
 		if lk[pc] != rk[bc] {
 			return fmt.Errorf("exec: join key %d kinds differ (%v vs %v)", i, lk[pc], rk[bc])
 		}
-		bv := h.build[bc]
+		bv := h.tbl.cols[bc]
 		switch lk[pc] {
 		case types.KindBool:
 			h.cmps[i] = func(br int32, p *vec.Batch, ph int32) bool { return bv.Bool[br] == p.Vecs[pc].Bool[ph] }
@@ -298,8 +386,8 @@ func (h *HashJoin) nextPairs() (*vec.Batch, error) {
 		for k := 0; k < rows; k++ {
 			phys := int32(b.RowIndex(k))
 			matched := false
-			if h.buildRows > 0 {
-				for br := h.heads[hv[k]&h.mask]; br >= 0; br = h.next[br] {
+			if h.tbl.rows > 0 {
+				for br := h.tbl.heads[hv[k]&h.tbl.mask]; br >= 0; br = h.tbl.next[br] {
 					if h.keyEq(br, b, phys) {
 						h.probeIdx = append(h.probeIdx, phys)
 						h.buildIdx = append(h.buildIdx, br)
@@ -332,12 +420,12 @@ func (h *HashJoin) emit(probeIdx, buildIdx []int32) {
 		h.out.Vecs[c].Reset()
 		h.out.Vecs[c].GatherFrom(h.probe.Vecs[c], probeIdx)
 	}
-	for c := range h.build {
+	for c := range h.tbl.cols {
 		ov := h.out.Vecs[nl+c]
 		ov.Reset()
 		ov.Grow(n)
 		ov.SetLen(n)
-		gatherWithDefault(ov, h.build[c], buildIdx)
+		gatherWithDefault(ov, h.tbl.cols[c], buildIdx)
 	}
 	if h.Type == LeftOuter {
 		mv := h.out.Vecs[len(h.kinds)-1]
@@ -411,7 +499,7 @@ func (h *HashJoin) nextExistential() (*vec.Batch, error) {
 		}
 		// NOT IN with a NULL on the build side: nothing qualifies, but we
 		// must still drain the probe side cheaply.
-		if h.Type == AntiNullAware && h.hasNullKey {
+		if h.Type == AntiNullAware && h.tbl.hasNullKey {
 			continue
 		}
 		rows := b.Rows()
@@ -433,8 +521,8 @@ func (h *HashJoin) nextExistential() (*vec.Batch, error) {
 		for k := 0; k < rows; k++ {
 			phys := int32(b.RowIndex(k))
 			matched := false
-			if h.buildRows > 0 {
-				for br := h.heads[hv[k]&h.mask]; br >= 0; br = h.next[br] {
+			if h.tbl.rows > 0 {
+				for br := h.tbl.heads[hv[k]&h.tbl.mask]; br >= 0; br = h.tbl.next[br] {
 					if h.keyEq(br, b, phys) {
 						matched = true
 						break
@@ -467,5 +555,46 @@ func (h *HashJoin) nextExistential() (*vec.Batch, error) {
 // Close implements Operator.
 func (h *HashJoin) Close() {
 	h.Left.Close()
-	h.Right.Close()
+	if h.Right != nil {
+		h.Right.Close()
+	}
+}
+
+// parallelHashJoin is the composite the planner instantiates for a
+// probe-parallel join: P HashJoins over one SharedBuild, merged by an
+// exchange union. Close tears down the union (probe workers) and releases
+// the build source if nothing ever built it.
+type parallelHashJoin struct {
+	union *XchgUnion
+	sb    *SharedBuild
+}
+
+// NewParallelHashJoin wires a shared build, P probe-side joins, and the
+// merging exchange into one operator.
+func NewParallelHashJoin(build Operator, probes []Operator, leftKeys, rightKeys []int,
+	jt JoinType, leftNull, rightNull int) Operator {
+	sb := NewSharedBuild(build, rightKeys, rightNull, jt == AntiNullAware)
+	hjs := make([]Operator, len(probes))
+	for i, p := range probes {
+		hj := NewHashJoinShared(p, sb, leftKeys, rightKeys, jt)
+		hj.LeftKeyNull = leftNull
+		hj.RightKeyNull = rightNull
+		hjs[i] = hj
+	}
+	return &parallelHashJoin{union: NewXchgUnion(hjs...), sb: sb}
+}
+
+// Kinds implements Operator.
+func (p *parallelHashJoin) Kinds() []types.Kind { return p.union.Kinds() }
+
+// Open implements Operator.
+func (p *parallelHashJoin) Open(ctx *Ctx) error { return p.union.Open(ctx) }
+
+// Next implements Operator.
+func (p *parallelHashJoin) Next() (*vec.Batch, error) { return p.union.Next() }
+
+// Close implements Operator.
+func (p *parallelHashJoin) Close() {
+	p.union.Close()
+	p.sb.Close()
 }

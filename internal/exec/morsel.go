@@ -1,0 +1,296 @@
+package exec
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"vectorwise/internal/metrics"
+	"vectorwise/internal/pdt"
+	"vectorwise/internal/types"
+	"vectorwise/internal/vec"
+)
+
+// Morsel-driven scans: instead of assigning row-group partitions to workers
+// at compile time, P scan workers pull row-group morsels from one shared
+// queue at run time. Skewed groups self-balance (a worker stuck on a fat
+// group simply claims fewer morsels while its siblings steal the rest), and
+// deltas arriving between compile and run change what the queue serves —
+// never the plan shape.
+
+var mMorselSteals = metrics.Default.Counter("exec_morsel_steals_total")
+
+// MorselScanner is one worker's repositionable view of a table: SeekGroup
+// selects a row-group morsel, then Next drains it (done=true at its end).
+// colstore.Scanner implements it.
+type MorselScanner interface {
+	pdt.BatchSource
+	SeekGroup(g int)
+}
+
+// MorselSource is the run-time view of a parallel table scan, constructed
+// at Open (inside the query's snapshot, after every compile-time decision).
+// Either the table is morsel-scannable (NumMorsels > 0, one independent
+// MorselScanner per worker), or it degrades to a single serial stream
+// (NumMorsels == 0: the PDT-merge path, where delta application is
+// positional over the whole table).
+type MorselSource interface {
+	// NumMorsels reports how many row-group morsels the snapshot offers;
+	// 0 means only Serial is available.
+	NumMorsels() int
+	// Worker returns a fresh repositionable scanner (one per worker).
+	Worker() (MorselScanner, error)
+	// Serial returns the fallback stream when NumMorsels() == 0.
+	Serial() (pdt.BatchSource, error)
+}
+
+// SerialMorselSource wraps a plain batch source as a MorselSource with no
+// morsels — the delta-path fallback a single worker claims whole.
+func SerialMorselSource(src pdt.BatchSource) MorselSource {
+	return serialMorselSource{src: src}
+}
+
+type serialMorselSource struct{ src pdt.BatchSource }
+
+func (s serialMorselSource) NumMorsels() int                  { return 0 }
+func (s serialMorselSource) Worker() (MorselScanner, error)   { return nil, nil }
+func (s serialMorselSource) Serial() (pdt.BatchSource, error) { return s.src, nil }
+
+// MorselQueue hands out row-group morsels to P workers. Each worker owns a
+// contiguous deque (preserving sequential decode locality); when a worker's
+// deque runs dry it steals from the back of the fullest sibling. A mutex
+// guards the whole structure — at 16K rows per morsel, contention is a few
+// dozen lock acquisitions per scanned gigabyte, unmeasurable next to
+// decompression.
+type MorselQueue struct {
+	mu     sync.Mutex
+	deques [][]int
+	counts []int64 // morsels served per worker (atomic reads for stats)
+	steals int64
+}
+
+// NewMorselQueue distributes morsels [0, n) contiguously over the workers.
+func NewMorselQueue(n, workers int) *MorselQueue {
+	if workers < 1 {
+		workers = 1
+	}
+	q := &MorselQueue{
+		deques: make([][]int, workers),
+		counts: make([]int64, workers),
+	}
+	for w := 0; w < workers; w++ {
+		lo, hi := n*w/workers, n*(w+1)/workers
+		for g := lo; g < hi; g++ {
+			q.deques[w] = append(q.deques[w], g)
+		}
+	}
+	return q
+}
+
+// Next claims the next morsel for worker w: the front of its own deque, or
+// a steal from the back of the fullest sibling. ok=false when the queue is
+// exhausted.
+func (q *MorselQueue) Next(w int) (g int, stolen bool, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if d := q.deques[w]; len(d) > 0 {
+		g = d[0]
+		q.deques[w] = d[1:]
+		atomic.AddInt64(&q.counts[w], 1)
+		return g, false, true
+	}
+	victim, most := -1, 0
+	for i, d := range q.deques {
+		if len(d) > most {
+			victim, most = i, len(d)
+		}
+	}
+	if victim < 0 {
+		return 0, false, false
+	}
+	d := q.deques[victim]
+	g = d[len(d)-1]
+	q.deques[victim] = d[:len(d)-1]
+	q.steals++
+	atomic.AddInt64(&q.counts[w], 1)
+	mMorselSteals.Inc()
+	return g, true, true
+}
+
+// Steals reports how many morsels were claimed by a worker other than the
+// one holding them initially.
+func (q *MorselQueue) Steals() int64 {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.steals
+}
+
+// Counts snapshots the per-worker morsel counts.
+func (q *MorselQueue) Counts() []int64 {
+	out := make([]int64, len(q.counts))
+	for i := range out {
+		out[i] = atomic.LoadInt64(&q.counts[i])
+	}
+	return out
+}
+
+// morselState is the run-time state the P sibling MorselScan workers of one
+// parallel fragment share, created lazily under Ctx.SharedState by the
+// first worker to open.
+type morselState struct {
+	once  sync.Once
+	err   error
+	src   MorselSource
+	queue *MorselQueue
+
+	serial        pdt.BatchSource
+	serialClaimed atomic.Bool
+}
+
+func (st *morselState) init(workers int, mk func() (MorselSource, error)) {
+	st.once.Do(func() {
+		src, err := mk()
+		if err != nil {
+			st.err = err
+			return
+		}
+		st.src = src
+		if n := src.NumMorsels(); n > 0 {
+			st.queue = NewMorselQueue(n, workers)
+			return
+		}
+		st.serial, st.err = src.Serial()
+	})
+}
+
+// MorselScan is one worker of a morsel-driven parallel scan. All workers
+// sharing a Key pull from the same MorselQueue; when the source degrades to
+// a serial stream (deltas at run time), exactly one worker claims it and
+// the rest come up empty — the plan keeps its parallel shape either way.
+type MorselScan struct {
+	kinds []types.Kind
+	// SourceFn builds the shared run-time source at Open, once the vector
+	// size and snapshot are known. Only one worker's closure actually runs.
+	SourceFn func(vecSize int) (MorselSource, error)
+	Key      any // shared-state identity linking sibling workers
+	Worker   int
+	Workers  int
+	OpLabel  string // metrics label, e.g. "ParallelScan"
+
+	ctx     *Ctx
+	st      *morselState
+	scanner MorselScanner
+	serial  pdt.BatchSource
+	buf     *vec.Batch
+	inGroup bool
+	morsels int64
+	stolen  int64
+	class   *opClassMetrics
+	mCount  *Counter
+}
+
+// NewMorselScan builds one scan worker.
+func NewMorselScan(kinds []types.Kind, key any, worker, workers int, label string,
+	sourceFn func(vecSize int) (MorselSource, error)) *MorselScan {
+	return &MorselScan{kinds: kinds, SourceFn: sourceFn, Key: key,
+		Worker: worker, Workers: workers, OpLabel: label}
+}
+
+// Kinds implements Operator.
+func (m *MorselScan) Kinds() []types.Kind { return m.kinds }
+
+// Open implements Operator: resolves (or joins) the shared morsel state.
+func (m *MorselScan) Open(ctx *Ctx) error {
+	m.ctx = ctx
+	m.scanner = nil
+	m.serial = nil
+	m.inGroup = false
+	m.morsels, m.stolen = 0, 0
+	label := m.OpLabel
+	if label == "" {
+		label = "ParallelScan"
+	}
+	m.mCount = metrics.Default.Counter(`exec_morsels_total{op="` + label + `"}`)
+	vecSize := ctx.vecSize()
+	m.st = ctx.SharedState(m.Key, func() any { return &morselState{} }).(*morselState)
+	m.st.init(m.Workers, func() (MorselSource, error) { return m.SourceFn(vecSize) })
+	if m.st.err != nil {
+		return m.st.err
+	}
+	if m.st.serial != nil {
+		if m.st.serialClaimed.CompareAndSwap(false, true) {
+			m.serial = m.st.serial
+			m.morsels++ // the whole merged scan counts as one fat morsel
+			m.mCount.Inc()
+		}
+		m.buf = vec.NewBatch(m.serialKinds(), vecSize)
+		return nil
+	}
+	sc, err := m.st.src.Worker()
+	if err != nil {
+		return err
+	}
+	m.scanner = sc
+	m.buf = vec.NewBatch(m.kinds, vecSize)
+	return nil
+}
+
+func (m *MorselScan) serialKinds() []types.Kind {
+	if m.serial != nil {
+		return m.serial.Kinds()
+	}
+	return m.kinds
+}
+
+// Next implements Operator.
+func (m *MorselScan) Next() (*vec.Batch, error) {
+	if err := m.ctx.poll(); err != nil {
+		return nil, err
+	}
+	if m.st.serial != nil {
+		if m.serial == nil {
+			return nil, nil // another worker claimed the serial stream
+		}
+		_, _, done, err := m.serial.Next(m.buf)
+		if err != nil || done {
+			return nil, err
+		}
+		return m.buf, nil
+	}
+	for {
+		if m.inGroup {
+			_, _, done, err := m.scanner.Next(m.buf)
+			if err != nil {
+				return nil, err
+			}
+			if !done {
+				return m.buf, nil
+			}
+			m.inGroup = false
+		}
+		g, stolen, ok := m.st.queue.Next(m.Worker)
+		if !ok {
+			return nil, nil
+		}
+		m.morsels++
+		if stolen {
+			m.stolen++
+		}
+		m.mCount.Inc()
+		m.scanner.SeekGroup(g)
+		m.inGroup = true
+	}
+}
+
+// Close implements Operator.
+func (m *MorselScan) Close() {}
+
+// MorselStats implements the profiling shell's morselReporter.
+func (m *MorselScan) MorselStats() (morsels, steals int64) { return m.morsels, m.stolen }
+
+// SkipStats reports block-skipping counters from this worker's scanner.
+func (m *MorselScan) SkipStats() (int64, int64) {
+	if gs, ok := m.scanner.(GroupSkipping); ok {
+		return int64(gs.SkippedGroups()), int64(gs.TotalGroups())
+	}
+	return 0, 0
+}

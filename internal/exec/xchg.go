@@ -2,6 +2,7 @@ package exec
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"vectorwise/internal/types"
 	"vectorwise/internal/vec"
@@ -56,11 +57,19 @@ func (x *XchgUnion) Open(ctx *Ctx) error {
 func (x *XchgUnion) produce(child Operator) {
 	defer x.wg.Done()
 	if err := child.Open(x.ctx); err != nil {
+		child.Close()
 		x.fail(err)
 		return
 	}
 	defer child.Close()
 	for {
+		// A stopped exchange (early consumer Close, e.g. under LIMIT) must
+		// not keep pulling from the child pipeline.
+		select {
+		case <-x.stop:
+			return
+		default:
+		}
 		b, err := child.Next()
 		if err != nil {
 			x.fail(err)
@@ -114,7 +123,8 @@ func (x *XchgUnion) Next() (*vec.Batch, error) {
 }
 
 // Close implements Operator: tears down producers and drains the channel so
-// they can exit (part of making cancellation work with parallel plans).
+// they can exit, then waits for them — after Close returns, no producer
+// goroutine survives, even when the consumer quit early (LIMIT).
 func (x *XchgUnion) Close() {
 	if !x.opened {
 		for _, c := range x.Children {
@@ -126,6 +136,8 @@ func (x *XchgUnion) Close() {
 	for range x.ch {
 		// drain until producers close it
 	}
+	x.wg.Wait()
+	x.opened = false
 }
 
 // XchgHashSplit partitions one input stream into P output operators by the
@@ -136,9 +148,12 @@ type XchgHashSplit struct {
 	KeyCols []int
 	P       int
 
-	parts []*splitPart
-	once  sync.Once
-	err   error
+	parts    []*splitPart
+	once     sync.Once
+	err      error
+	stop     chan struct{}
+	stopOnce sync.Once
+	started  atomic.Bool
 }
 
 type splitPart struct {
@@ -152,7 +167,7 @@ type splitPart struct {
 // the first partition is opened; all partitions must be consumed (each by
 // exactly one reader).
 func NewXchgHashSplit(input Operator, keyCols []int, p int) []Operator {
-	x := &XchgHashSplit{Input: input, KeyCols: keyCols, P: p}
+	x := &XchgHashSplit{Input: input, KeyCols: keyCols, P: p, stop: make(chan struct{})}
 	out := make([]Operator, p)
 	x.parts = make([]*splitPart, p)
 	for i := 0; i < p; i++ {
@@ -168,7 +183,10 @@ func (s *splitPart) Kinds() []types.Kind { return s.parent.Input.Kinds() }
 // Open implements Operator.
 func (s *splitPart) Open(ctx *Ctx) error {
 	s.ctx = ctx
-	s.parent.once.Do(func() { go s.parent.drive(ctx) })
+	s.parent.once.Do(func() {
+		s.parent.started.Store(true)
+		go s.parent.drive(ctx)
+	})
 	return nil
 }
 
@@ -197,6 +215,8 @@ func (x *XchgHashSplit) drive(ctx *Ctx) {
 		case x.parts[i].ch <- accs[i]:
 			accs[i] = vec.NewBatch(kinds, ctx.vecSize())
 			return true
+		case <-x.stop:
+			return false
 		case <-ctx.Ctx.Done():
 			return false
 		}
@@ -264,10 +284,15 @@ func (s *splitPart) Next() (*vec.Batch, error) {
 	}
 }
 
-// Close implements Operator: drains so the driver can finish.
+// Close implements Operator: stops the driver and drains this part until
+// the driver closes it. The old implementation spawned an unconditional
+// drain goroutine, which leaked forever when the driver never started (no
+// partition opened) or stayed blocked on a sibling partition.
 func (s *splitPart) Close() {
-	go func() {
-		for range s.ch {
-		}
-	}()
+	s.parent.stopOnce.Do(func() { close(s.parent.stop) })
+	if !s.parent.started.Load() {
+		return
+	}
+	for range s.ch {
+	}
 }

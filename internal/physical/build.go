@@ -31,25 +31,38 @@ type Catalog interface {
 // the catalog. After Build, instantiation needs no name lookups and no
 // schema reasoning — only the registry's factories.
 func Build(n algebra.Node, cat Catalog) (Node, error) {
+	b := &builder{cat: cat, queues: map[int]*ScanQueue{}}
+	return b.build(n)
+}
+
+// builder carries per-plan lowering state: the catalog plus the morsel
+// queues already materialized, keyed by the algebra MorselID, so sibling
+// worker scans of one queue share a single *ScanQueue spec.
+type builder struct {
+	cat    Catalog
+	queues map[int]*ScanQueue
+}
+
+func (b *builder) build(n algebra.Node) (Node, error) {
 	switch t := n.(type) {
 	case *algebra.Scan:
-		return buildScan(t, cat)
+		return b.buildScan(t)
 	case *algebra.Values:
 		return &Values{Schema: t.Out, Rows: t.Rows}, nil
 	case *algebra.Select:
-		child, err := Build(t.Child, cat)
+		child, err := b.build(t.Child)
 		if err != nil {
 			return nil, err
 		}
 		return &Select{Child: child, Pred: t.Pred}, nil
 	case *algebra.Project:
-		child, err := Build(t.Child, cat)
+		child, err := b.build(t.Child)
 		if err != nil {
 			return nil, err
 		}
 		return &Project{Child: child, Exprs: t.Exprs, Names: t.Names}, nil
 	case *algebra.Aggr:
-		child, err := Build(t.Child, cat)
+		child, err := b.build(t.Child)
 		if err != nil {
 			return nil, err
 		}
@@ -67,11 +80,11 @@ func Build(n algebra.Node, cat Catalog) (Node, error) {
 		}
 		return &HashAgg{Child: child, GroupCols: t.GroupCols, Aggs: aggs, OutKinds: out}, nil
 	case *algebra.HashJoin:
-		left, err := Build(t.Left, cat)
+		left, err := b.build(t.Left)
 		if err != nil {
 			return nil, err
 		}
-		right, err := Build(t.Right, cat)
+		right, err := b.build(t.Right)
 		if err != nil {
 			return nil, err
 		}
@@ -83,44 +96,67 @@ func Build(n algebra.Node, cat Catalog) (Node, error) {
 			LeftKeys: t.LeftKeys, RightKeys: t.RightKeys,
 			LeftKeyNull: t.LeftKeyNull, RightKeyNull: t.RightKeyNull,
 			OutKinds: joinKinds(left.Kinds(), right.Kinds(), jt)}, nil
+	case *algebra.ParallelHashJoin:
+		build, err := b.build(t.Build)
+		if err != nil {
+			return nil, err
+		}
+		probes, err := b.buildKids(t.Probes)
+		if err != nil {
+			return nil, err
+		}
+		jt, err := joinType(t.Kind)
+		if err != nil {
+			return nil, err
+		}
+		return &ParallelHashJoin{Build: build, Probes: probes, Type: jt,
+			LeftKeys: t.LeftKeys, RightKeys: t.RightKeys,
+			LeftKeyNull: t.LeftKeyNull, RightKeyNull: t.RightKeyNull,
+			OutKinds: joinKinds(probes[0].Kinds(), build.Kinds(), jt)}, nil
 	case *algebra.Sort:
-		child, err := Build(t.Child, cat)
+		child, err := b.build(t.Child)
 		if err != nil {
 			return nil, err
 		}
 		return &Sort{Child: child, Keys: sortKeys(t.Keys)}, nil
 	case *algebra.TopN:
-		child, err := Build(t.Child, cat)
+		child, err := b.build(t.Child)
 		if err != nil {
 			return nil, err
 		}
 		return &TopN{Child: child, Keys: sortKeys(t.Keys), N: int(t.N)}, nil
 	case *algebra.Limit:
-		child, err := Build(t.Child, cat)
+		child, err := b.build(t.Child)
 		if err != nil {
 			return nil, err
 		}
 		return &Limit{Child: child, Offset: t.Offset, N: t.N}, nil
 	case *algebra.UnionAll:
-		kids, err := buildKids(t.Kids, cat)
+		kids, err := b.buildKids(t.Kids)
 		if err != nil {
 			return nil, err
 		}
 		return &Union{Kids: kids}, nil
 	case *algebra.XchgUnion:
-		kids, err := buildKids(t.Kids, cat)
+		kids, err := b.buildKids(t.Kids)
 		if err != nil {
 			return nil, err
 		}
 		return &Xchg{Kids: kids, Degree: len(kids)}, nil
+	case *algebra.XchgMerge:
+		kids, err := b.buildKids(t.Kids)
+		if err != nil {
+			return nil, err
+		}
+		return &XchgMerge{Kids: kids, Keys: sortKeys(t.Keys)}, nil
 	}
 	return nil, fmt.Errorf("physical: cannot build %T", n)
 }
 
-func buildKids(alg []algebra.Node, cat Catalog) ([]Node, error) {
+func (b *builder) buildKids(alg []algebra.Node) ([]Node, error) {
 	kids := make([]Node, len(alg))
 	for i, k := range alg {
-		c, err := Build(k, cat)
+		c, err := b.build(k)
 		if err != nil {
 			return nil, err
 		}
@@ -130,9 +166,11 @@ func buildKids(alg []algebra.Node, cat Catalog) ([]Node, error) {
 }
 
 // buildScan resolves a scan's column names against the table's physical
-// layout, emitting a HeapScan for classic tables.
-func buildScan(t *algebra.Scan, cat Catalog) (Node, error) {
-	info, err := cat.PhysicalTable(t.Table)
+// layout, emitting a HeapScan for classic tables and a ParallelScan worker
+// for morsel-stamped scans (sibling workers share one *ScanQueue spec,
+// resolved through the builder's queue map).
+func (b *builder) buildScan(t *algebra.Scan) (Node, error) {
+	info, err := b.cat.PhysicalTable(t.Table)
 	if err != nil {
 		return nil, err
 	}
@@ -158,8 +196,17 @@ func buildScan(t *algebra.Scan, cat Catalog) (Node, error) {
 		}
 		filters = append(filters, colstore.RangeFilter{Col: idxs[r.Col], Lo: r.Lo, Hi: r.Hi})
 	}
+	if t.Morsels > 0 {
+		q := b.queues[t.MorselID]
+		if q == nil {
+			q = &ScanQueue{ID: t.MorselID, Workers: t.Morsels}
+			b.queues[t.MorselID] = q
+		}
+		return &ParallelScan{Table: t.Table, Cols: t.Cols, ColIdxs: idxs,
+			ColKinds: kinds, Filters: filters, Queue: q, Worker: t.Worker}, nil
+	}
 	return &Scan{Table: t.Table, Cols: t.Cols, ColIdxs: idxs, ColKinds: kinds,
-		Part: t.Part, Parts: t.Parts, Filters: filters}, nil
+		Filters: filters}, nil
 }
 
 func aggFn(fn string) (exec.AggFn, error) {

@@ -46,17 +46,15 @@ type Node interface {
 }
 
 // Scan reads resolved column positions from a vectorwise (column-store)
-// table; Part/Parts select one row-group partition of a parallel scan.
-// Filters are sargable bounds (storage column positions) forwarded to the
-// scanner for min/max block skipping on the delta-free path; the residual
-// Select above the scan keeps results exact.
+// table, serially. Filters are sargable bounds (storage column positions)
+// forwarded to the scanner for min/max block skipping on the delta-free
+// path; the residual Select above the scan keeps results exact. Parallel
+// scans lower to ParallelScan instead.
 type Scan struct {
 	Table    string
 	Cols     []string // resolved physical column names (for display)
 	ColIdxs  []int    // storage positions to read
 	ColKinds []types.Kind
-	Part     int
-	Parts    int
 	Filters  []colstore.RangeFilter
 }
 
@@ -74,19 +72,64 @@ func (s *Scan) Parallelism() int { return 1 }
 
 // Line implements Node.
 func (s *Scan) Line() string {
-	part := ""
-	if s.Parts > 1 {
-		part = fmt.Sprintf(" part %d/%d", s.Part, s.Parts)
+	return fmt.Sprintf("Scan('%s', %v @ %v%s)", s.Table, s.Cols, s.ColIdxs,
+		filtersString(s.Filters))
+}
+
+func filtersString(filters []colstore.RangeFilter) string {
+	if len(filters) == 0 {
+		return ""
 	}
-	flt := ""
-	if len(s.Filters) > 0 {
-		parts := make([]string, len(s.Filters))
-		for i, f := range s.Filters {
-			parts[i] = types.FormatRange("col", f.Col, f.Lo, f.Hi)
-		}
-		flt = ", filters=[" + strings.Join(parts, ", ") + "]"
+	parts := make([]string, len(filters))
+	for i, f := range filters {
+		parts[i] = types.FormatRange("col", f.Col, f.Lo, f.Hi)
 	}
-	return fmt.Sprintf("Scan('%s', %v @ %v%s%s)", s.Table, s.Cols, s.ColIdxs, part, flt)
+	return ", filters=[" + strings.Join(parts, ", ") + "]"
+}
+
+// ScanQueue identifies one run-time morsel queue. The P ParallelScan
+// workers of a parallel fragment hold the same *ScanQueue, and the pointer
+// itself is the shared-state key at execution: workers resolving it land on
+// the same queue, distinct queues (self-joins, multiple parallel chains in
+// one plan) stay distinct.
+type ScanQueue struct {
+	ID      int
+	Workers int
+}
+
+// ParallelScan is one worker of a morsel-driven parallel scan: P siblings
+// share the Queue and pull row-group morsels from it at run time. Which
+// rows a worker reads is decided at Open, never at plan time — skew
+// self-balances by stealing, and a snapshot with deltas degrades to one
+// worker claiming the whole merged stream while the plan keeps its shape.
+type ParallelScan struct {
+	Table    string
+	Cols     []string
+	ColIdxs  []int
+	ColKinds []types.Kind
+	Filters  []colstore.RangeFilter
+	Queue    *ScanQueue
+	Worker   int
+}
+
+// Op implements Node.
+func (s *ParallelScan) Op() string { return "ParallelScan" }
+
+// Kinds implements Node.
+func (s *ParallelScan) Kinds() []types.Kind { return s.ColKinds }
+
+// Children implements Node.
+func (s *ParallelScan) Children() []Node { return nil }
+
+// Parallelism implements Node: each worker is one stream; the exchange
+// above reports the fan-in.
+func (s *ParallelScan) Parallelism() int { return 1 }
+
+// Line implements Node.
+func (s *ParallelScan) Line() string {
+	return fmt.Sprintf("ParallelScan('%s', %v @ %v, worker %d/%d, queue=%d%s)",
+		s.Table, s.Cols, s.ColIdxs, s.Worker, s.Queue.Workers, s.Queue.ID,
+		filtersString(s.Filters))
 }
 
 // HeapScan adapts a classic (slotted-page) heap table into the vectorized
@@ -364,6 +407,64 @@ func (x *Xchg) Parallelism() int { return x.Degree }
 
 // Line implements Node.
 func (x *Xchg) Line() string { return fmt.Sprintf("Xchg(degree=%d)", x.Degree) }
+
+// XchgMerge is the order-preserving exchange: children are pre-sorted
+// parallel fragments and the merge keeps their union globally sorted.
+type XchgMerge struct {
+	Kids []Node
+	Keys []exec.SortKey
+}
+
+// Op implements Node.
+func (x *XchgMerge) Op() string { return "XchgMerge" }
+
+// Kinds implements Node.
+func (x *XchgMerge) Kinds() []types.Kind { return x.Kids[0].Kinds() }
+
+// Children implements Node.
+func (x *XchgMerge) Children() []Node { return x.Kids }
+
+// Parallelism implements Node.
+func (x *XchgMerge) Parallelism() int { return len(x.Kids) }
+
+// Line implements Node.
+func (x *XchgMerge) Line() string {
+	return fmt.Sprintf("XchgMerge(degree=%d, keys=%s)", len(x.Kids), keysString(x.Keys))
+}
+
+// ParallelHashJoin is a hash join with one shared build (run once, by the
+// first prober to need it) and P concurrent probe fragments merged by an
+// exchange union. Children are [Build, Probes...].
+type ParallelHashJoin struct {
+	Build        Node
+	Probes       []Node
+	Type         exec.JoinType
+	LeftKeys     []int
+	RightKeys    []int
+	LeftKeyNull  int
+	RightKeyNull int
+	OutKinds     []types.Kind
+}
+
+// Op implements Node.
+func (j *ParallelHashJoin) Op() string { return "ParallelHashJoin" }
+
+// Kinds implements Node.
+func (j *ParallelHashJoin) Kinds() []types.Kind { return j.OutKinds }
+
+// Children implements Node.
+func (j *ParallelHashJoin) Children() []Node {
+	return append([]Node{j.Build}, j.Probes...)
+}
+
+// Parallelism implements Node.
+func (j *ParallelHashJoin) Parallelism() int { return len(j.Probes) }
+
+// Line implements Node.
+func (j *ParallelHashJoin) Line() string {
+	return fmt.Sprintf("ParallelHashJoin[%s](lk=%v, rk=%v, degree=%d)",
+		j.Type, j.LeftKeys, j.RightKeys, len(j.Probes))
+}
 
 func keysString(keys []exec.SortKey) string {
 	parts := make([]string, len(keys))

@@ -40,7 +40,11 @@ func (e *fixtureEnv) Heap(string) (*rowengine.HeapTable, error) {
 	return e.heap, nil
 }
 
-func (e *fixtureEnv) ScanSource(string, []int, int, int, int, []colstore.RangeFilter) (pdt.BatchSource, error) {
+func (e *fixtureEnv) ScanSource(string, []int, int, []colstore.RangeFilter) (pdt.BatchSource, error) {
+	return nil, fmt.Errorf("no column store in fixture")
+}
+
+func (e *fixtureEnv) MorselSource(string, []int, int, []colstore.RangeFilter) (exec.MorselSource, error) {
 	return nil, fmt.Errorf("no column store in fixture")
 }
 
@@ -116,7 +120,7 @@ func TestBuildResolvesScanColumns(t *testing.T) {
 	cat := &fixtureCatalog{name: "t", info: &TableInfo{
 		Structure: "vectorwise", Logical: phys, Physical: phys}}
 	alg := &algebra.Scan{Table: "t", Structure: "vectorwise",
-		Cols: []string{"c", "a"}, Out: intSchema("c", "a"), Part: 1, Parts: 4}
+		Cols: []string{"c", "a"}, Out: intSchema("c", "a")}
 	n, err := Build(alg, cat)
 	if err != nil {
 		t.Fatalf("build: %v", err)
@@ -128,8 +132,27 @@ func TestBuildResolvesScanColumns(t *testing.T) {
 	if s.ColIdxs[0] != 2 || s.ColIdxs[1] != 0 {
 		t.Fatalf("resolved idxs = %v", s.ColIdxs)
 	}
-	if s.Part != 1 || s.Parts != 4 {
-		t.Fatalf("partition = %d/%d", s.Part, s.Parts)
+	// Morsel-stamped scans lower to ParallelScan workers sharing one queue.
+	mk := func(w int) *algebra.Scan {
+		return &algebra.Scan{Table: "t", Structure: "vectorwise",
+			Cols: []string{"a"}, Out: intSchema("a"),
+			Morsels: 2, MorselID: 7, Worker: w}
+	}
+	par, err := Build(&algebra.XchgUnion{Kids: []algebra.Node{mk(0), mk(1)}}, cat)
+	if err != nil {
+		t.Fatalf("build parallel: %v", err)
+	}
+	kids := par.Children()
+	w0, ok0 := kids[0].(*ParallelScan)
+	w1, ok1 := kids[1].(*ParallelScan)
+	if !ok0 || !ok1 {
+		t.Fatalf("workers are %T/%T, want *ParallelScan", kids[0], kids[1])
+	}
+	if w0.Queue == nil || w0.Queue != w1.Queue || w0.Queue.Workers != 2 {
+		t.Fatalf("workers do not share one queue spec: %+v vs %+v", w0.Queue, w1.Queue)
+	}
+	if w0.Worker != 0 || w1.Worker != 1 {
+		t.Fatalf("worker slots = %d/%d", w0.Worker, w1.Worker)
 	}
 	if _, err := Build(&algebra.Scan{Table: "t", Cols: []string{"zap"},
 		Out: intSchema("zap")}, cat); err == nil {
@@ -200,8 +223,9 @@ func TestXchgParallelismAndFormat(t *testing.T) {
 // profiling shells record per-operator counters uniformly.
 func TestRegistryAndProfile(t *testing.T) {
 	ops := RegisteredOps()
-	want := []string{"HashAgg", "HashJoin", "HeapScan", "Limit", "Project",
-		"Scan", "Select", "Sort", "TopN", "Union", "Values", "Xchg"}
+	want := []string{"HashAgg", "HashJoin", "HeapScan", "Limit", "ParallelHashJoin",
+		"ParallelScan", "Project", "Scan", "Select", "Sort", "TopN", "Union",
+		"Values", "Xchg", "XchgMerge"}
 	if len(ops) != len(want) {
 		t.Fatalf("registered ops = %v, want %v", ops, want)
 	}

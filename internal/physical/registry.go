@@ -17,14 +17,18 @@ import (
 type Env interface {
 	// Heap returns a heap table's storage.
 	Heap(table string) (*rowengine.HeapTable, error)
-	// ScanSource returns a positional batch source over a vectorwise
-	// table's snapshot; part/parts select a row-group partition (0/1 =
-	// whole table). Called at operator Open time, once the vector size is
-	// known. filters carry sargable bounds for min/max block skipping; the
-	// provider must apply them only on delta-free scans (PDT merging is
-	// positional, so every stable row must flow) — results stay exact
-	// either way because the plan keeps the residual Select.
-	ScanSource(table string, cols []int, part, parts, vecSize int, filters []colstore.RangeFilter) (pdt.BatchSource, error)
+	// ScanSource returns a positional batch source over the whole of a
+	// vectorwise table's snapshot. Called at operator Open time, once the
+	// vector size is known. filters carry sargable bounds for min/max block
+	// skipping; the provider must apply them only on delta-free scans (PDT
+	// merging is positional, so every stable row must flow) — results stay
+	// exact either way because the plan keeps the residual Select.
+	ScanSource(table string, cols []int, vecSize int, filters []colstore.RangeFilter) (pdt.BatchSource, error)
+	// MorselSource returns the run-time view of a parallel scan over the
+	// same snapshot: row-group morsels plus per-worker scanners when the
+	// snapshot is delta-free, or a serial fallback stream otherwise (the
+	// run-time decision that replaced compile-time partitioning).
+	MorselSource(table string, cols []int, vecSize int, filters []colstore.RangeFilter) (exec.MorselSource, error)
 }
 
 // Factory instantiates the kernel operator for one physical node; kids are
@@ -45,10 +49,20 @@ func Register(op string, f Factory) {
 func init() {
 	Register("Scan", func(n Node, env Env, _ []exec.Operator) (exec.Operator, error) {
 		s := n.(*Scan)
-		table, idxs, part, parts, filters := s.Table, s.ColIdxs, s.Part, s.Parts, s.Filters
+		table, idxs, filters := s.Table, s.ColIdxs, s.Filters
 		return exec.NewColScan(s.ColKinds, func(vecSize int) (pdt.BatchSource, error) {
-			return env.ScanSource(table, idxs, part, parts, vecSize, filters)
+			return env.ScanSource(table, idxs, vecSize, filters)
 		}), nil
+	})
+	Register("ParallelScan", func(n Node, env Env, _ []exec.Operator) (exec.Operator, error) {
+		s := n.(*ParallelScan)
+		table, idxs, filters := s.Table, s.ColIdxs, s.Filters
+		// The Queue pointer doubles as the shared-state key: sibling workers
+		// built from the same physical spec join the same morsel queue.
+		return exec.NewMorselScan(s.ColKinds, s.Queue, s.Worker, s.Queue.Workers,
+			"ParallelScan", func(vecSize int) (exec.MorselSource, error) {
+				return env.MorselSource(table, idxs, vecSize, filters)
+			}), nil
 	})
 	Register("HeapScan", func(n Node, env Env, _ []exec.Operator) (exec.Operator, error) {
 		s := n.(*HeapScan)
@@ -95,6 +109,14 @@ func init() {
 	})
 	Register("Xchg", func(_ Node, _ Env, kids []exec.Operator) (exec.Operator, error) {
 		return exec.NewXchgUnion(kids...), nil
+	})
+	Register("XchgMerge", func(n Node, _ Env, kids []exec.Operator) (exec.Operator, error) {
+		return exec.NewXchgMerge(n.(*XchgMerge).Keys, kids...), nil
+	})
+	Register("ParallelHashJoin", func(n Node, _ Env, kids []exec.Operator) (exec.Operator, error) {
+		j := n.(*ParallelHashJoin)
+		return exec.NewParallelHashJoin(kids[0], kids[1:], j.LeftKeys, j.RightKeys,
+			j.Type, j.LeftKeyNull, j.RightKeyNull), nil
 	})
 }
 
@@ -156,7 +178,9 @@ func (inst *Instance) Stats(n Node) exec.OpStats {
 
 // RenderProfile renders the physical DAG annotated with each operator's
 // counters — the per-operator breakdown PROFILE prints. Scans that saw
-// block skipping additionally report skipped=N/M groups.
+// block skipping additionally report skipped=N/M groups; morsel-scan
+// workers report how many morsels they claimed and how many were stolen
+// from siblings.
 func (inst *Instance) RenderProfile() string {
 	return render(inst.Plan, func(n Node) string {
 		st := inst.Stats(n)
@@ -164,8 +188,15 @@ func (inst *Instance) RenderProfile() string {
 		if st.TotalGroups > 0 {
 			skip = fmt.Sprintf(" skipped=%d/%d groups", st.SkippedGroups, st.TotalGroups)
 		}
-		return fmt.Sprintf("  [rows=%d batches=%d time=%v%s]",
-			st.Rows, st.Batches, time.Duration(st.Nanos).Round(time.Microsecond), skip)
+		morsels := ""
+		if st.Morsels > 0 {
+			morsels = fmt.Sprintf(" morsels=%d", st.Morsels)
+			if st.MorselSteals > 0 {
+				morsels += fmt.Sprintf(" (stolen=%d)", st.MorselSteals)
+			}
+		}
+		return fmt.Sprintf("  [rows=%d batches=%d time=%v%s%s]",
+			st.Rows, st.Batches, time.Duration(st.Nanos).Round(time.Microsecond), skip, morsels)
 	})
 }
 

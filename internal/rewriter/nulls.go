@@ -82,7 +82,8 @@ func decompose(n algebra.Node) (algebra.Node, ColMap, error) {
 		// unchanged. NULL positions hold in-band safe values, which only
 		// widen block summaries — skipping stays conservative.
 		return &algebra.Scan{Table: t.Table, Structure: t.Structure, Cols: cols,
-			Out: phys, Part: t.Part, Parts: t.Parts, Ranges: t.Ranges}, PhysicalColMap(logical), nil
+			Out: phys, Morsels: t.Morsels, MorselID: t.MorselID, Worker: t.Worker,
+			Ranges: t.Ranges}, PhysicalColMap(logical), nil
 
 	case *algebra.Values:
 		logical := t.Out

@@ -12,8 +12,20 @@
 //     column plus a BOOL indicator column so the kernel stays NULL-
 //     oblivious (claim C6, experiment E7), including the anti-join NULL
 //     intricacies of claim C10,
-//   - the Volcano-style parallelizer — splitting scan+aggregate pipelines
-//     across cores with exchange operators (claim C9, experiment E6).
+//   - the Volcano-style parallelizer — splitting pipelines across cores
+//     with exchange operators (claim C9, experiment E6). Parallel scans are
+//     morsel-driven: the rewriter clones a scan chain into P workers that
+//     all reference one run-time work queue of row-group morsels
+//     (identified by Scan.MorselID), so work distribution happens at Open,
+//     not at compile — skew self-balances by work stealing, and deltas
+//     arriving between compile and run only change what the queue serves.
+//     Placement rules: Aggr over a scan chain becomes partial aggregates
+//     exchanged (XchgUnion) into a final aggregate; Sort and TopN become
+//     per-worker local sorts merged order-preservingly by XchgMerge (TopN
+//     additionally re-limited); a HashJoin whose probe side is a scan chain
+//     becomes a ParallelHashJoin — one shared build, P concurrent probe
+//     fragments. The degree is Options.Parallel capped by GroupsHint (no
+//     point running more workers than the table has row groups).
 //
 // (The original used the Tom pattern-matching tool [5]; hand-written
 // visitors replace it here, as documented in DESIGN.md.)
@@ -31,9 +43,12 @@ import (
 type Options struct {
 	// Parallel is the desired degree of parallelism (≤1 = serial).
 	Parallel int
-	// PartsHint tells the parallelizer how many row-group partitions the
-	// scanned table offers (engine supplies it; 0 disables).
-	PartsHint func(table string) int
+	// GroupsHint tells the parallelizer how many row-group morsels the
+	// scanned table's stable storage offers, so the degree can be capped at
+	// the morsel count (engine supplies it; nil disables the cap). Unlike
+	// the old partition hint it must NOT reflect transient delta state —
+	// run-time morsel sources handle deltas.
+	GroupsHint func(table string) int
 	// LowerFuncs replaces kernel-native functions with equivalent
 	// combinations (experiment E9's rewriter-lowered variant).
 	LowerFuncs bool
@@ -68,7 +83,8 @@ func Rewrite(n algebra.Node, opts Options) (*Result, error) {
 		}
 	}
 	if opts.Parallel > 1 {
-		n = parallelize(n, opts)
+		pc := &parCtx{opts: opts}
+		n = pc.parallelize(n)
 	}
 	return &Result{Node: n, ColMap: cm, Logical: logical}, nil
 }
@@ -186,35 +202,118 @@ func ltZero(e expr.Expr, k types.Kind) expr.Expr {
 
 // --- parallelizer (claim C9) ---
 
-// parallelize splits Aggr-over-scan-chain pipelines into P partial
-// pipelines over row-group partitions, exchanged into a final aggregate:
+// parCtx carries parallelizer state: the options plus a counter handing out
+// morsel-queue IDs, one per parallelized scan chain (the P worker clones of
+// one chain share an ID; distinct chains get distinct queues).
+type parCtx struct {
+	opts   Options
+	nextID int
+}
+
+// degree picks the worker count for a scan of table: Options.Parallel
+// capped by the table's row-group morsel count.
+func (pc *parCtx) degree(table string) int {
+	p := pc.opts.Parallel
+	if pc.opts.GroupsHint != nil {
+		if g := pc.opts.GroupsHint(table); g >= 0 && g < p {
+			p = g
+		}
+	}
+	return p
+}
+
+// morselChains clones a scan chain into p morsel workers sharing one queue.
+func (pc *parCtx) morselChains(chain algebra.Node, p int) []algebra.Node {
+	id := pc.nextID
+	pc.nextID++
+	out := make([]algebra.Node, p)
+	for w := 0; w < p; w++ {
+		out[w] = cloneChainMorsel(chain, w, p, id)
+	}
+	return out
+}
+
+// chainDegree returns the scan chain's parallel degree, or 0 when the chain
+// must stay serial (no scan, already morselized, degree cap ≤ 1).
+func (pc *parCtx) chainDegree(chain algebra.Node) int {
+	scan := scanOfChain(chain)
+	if scan == nil || scan.Morsels > 0 {
+		return 0
+	}
+	if p := pc.degree(scan.Table); p > 1 {
+		return p
+	}
+	return 0
+}
+
+// parallelize applies the Xchg placement rules bottom-up:
 //
-//	Aggr(chain(Scan))  ⇒  FinalAggr(XchgUnion(PartialAggr(chain(Scan_i))…))
-func parallelize(n algebra.Node, opts Options) algebra.Node {
+//	Aggr(chain(Scan))  ⇒  FinalAggr(XchgUnion(PartialAggr(chain(Scan_w))…))
+//	Sort(chain(Scan))  ⇒  XchgMerge(Sort(chain(Scan_w))…)
+//	TopN(chain(Scan))  ⇒  Limit(N, XchgMerge(TopN(chain(Scan_w))…))
+//	HashJoin(chain(Scan), build) ⇒ ParallelHashJoin(build; chain(Scan_w)…)
+//
+// where the Scan_w are morsel-worker clones sharing one run-time queue.
+func (pc *parCtx) parallelize(n algebra.Node) algebra.Node {
 	ch := n.Children()
 	newCh := make([]algebra.Node, len(ch))
 	for i, c := range ch {
-		newCh[i] = parallelize(c, opts)
+		newCh[i] = pc.parallelize(c)
 	}
 	n = n.WithChildren(newCh)
-	agg, ok := n.(*algebra.Aggr)
-	if !ok {
-		return n
-	}
-	scan := scanOfChain(agg.Child)
-	if scan == nil || scan.Parts > 1 {
-		return n
-	}
-	p := opts.Parallel
-	if opts.PartsHint != nil {
-		if parts := opts.PartsHint(scan.Table); parts >= 0 && parts < p {
-			p = parts
+	switch t := n.(type) {
+	case *algebra.Aggr:
+		return pc.parallelizeAggr(t)
+	case *algebra.Sort:
+		p := pc.chainDegree(t.Child)
+		if p == 0 {
+			return n
+		}
+		kids := make([]algebra.Node, p)
+		for w, c := range pc.morselChains(t.Child, p) {
+			kids[w] = &algebra.Sort{Child: c, Keys: t.Keys}
+		}
+		return &algebra.XchgMerge{Kids: kids, Keys: t.Keys}
+	case *algebra.TopN:
+		p := pc.chainDegree(t.Child)
+		if p == 0 {
+			return n
+		}
+		kids := make([]algebra.Node, p)
+		for w, c := range pc.morselChains(t.Child, p) {
+			kids[w] = &algebra.TopN{Child: c, Keys: t.Keys, N: t.N}
+		}
+		// Each worker keeps its local top N; the merge is globally sorted,
+		// so a final Limit restores the exact top N.
+		return &algebra.Limit{Child: &algebra.XchgMerge{Kids: kids, Keys: t.Keys}, N: t.N}
+	case *algebra.HashJoin:
+		p := pc.chainDegree(t.Left)
+		if p == 0 {
+			return n
+		}
+		return &algebra.ParallelHashJoin{
+			Build:        t.Right,
+			Probes:       pc.morselChains(t.Left, p),
+			Kind:         t.Kind,
+			LeftKeys:     t.LeftKeys,
+			RightKeys:    t.RightKeys,
+			LeftKeyNull:  t.LeftKeyNull,
+			RightKeyNull: t.RightKeyNull,
+			WithMatch:    t.WithMatch,
 		}
 	}
-	if p <= 1 {
+	return n
+}
+
+// parallelizeAggr splits Aggr-over-scan-chain pipelines into P partial
+// pipelines over morsel workers, exchanged into a final aggregate.
+func (pc *parCtx) parallelizeAggr(agg *algebra.Aggr) algebra.Node {
+	var n algebra.Node = agg
+	p := pc.chainDegree(agg.Child)
+	if p == 0 {
 		return n
 	}
-	// Partial aggregates per partition. AVG splits into SUM+COUNT.
+	// Partial aggregates per worker. AVG splits into SUM+COUNT.
 	type finalSpec struct {
 		fn  string
 		col int // partial output column
@@ -265,9 +364,8 @@ func parallelize(n algebra.Node, opts Options) algebra.Node {
 		names[i] = fmt.Sprintf("$p%d", i)
 	}
 	kids := make([]algebra.Node, p)
-	for part := 0; part < p; part++ {
-		chain := cloneChainWithPart(agg.Child, part, p)
-		kids[part] = &algebra.Aggr{Child: chain, GroupCols: agg.GroupCols,
+	for w, chain := range pc.morselChains(agg.Child, p) {
+		kids[w] = &algebra.Aggr{Child: chain, GroupCols: agg.GroupCols,
 			Aggs: partialAggs, Names: names}
 	}
 	var merged algebra.Node = &algebra.XchgUnion{Kids: kids}
@@ -345,18 +443,20 @@ func scanOfChain(n algebra.Node) *algebra.Scan {
 	return nil
 }
 
-// cloneChainWithPart copies a chain, assigning the scan partition.
-func cloneChainWithPart(n algebra.Node, part, parts int) algebra.Node {
+// cloneChainMorsel copies a chain, stamping the scan as morsel worker w of
+// a P-worker group sharing queue id.
+func cloneChainMorsel(n algebra.Node, w, p, id int) algebra.Node {
 	switch t := n.(type) {
 	case *algebra.Scan:
 		cp := *t
-		cp.Part = part
-		cp.Parts = parts
+		cp.Worker = w
+		cp.Morsels = p
+		cp.MorselID = id
 		return &cp
 	case *algebra.Select:
-		return &algebra.Select{Child: cloneChainWithPart(t.Child, part, parts), Pred: t.Pred}
+		return &algebra.Select{Child: cloneChainMorsel(t.Child, w, p, id), Pred: t.Pred}
 	case *algebra.Project:
-		return &algebra.Project{Child: cloneChainWithPart(t.Child, part, parts),
+		return &algebra.Project{Child: cloneChainMorsel(t.Child, w, p, id),
 			Exprs: t.Exprs, Names: t.Names}
 	}
 	return n

@@ -188,7 +188,7 @@ func TestParallelizeAggr(t *testing.T) {
 	agg := &algebra.Aggr{Child: scan, GroupCols: []int{0},
 		Aggs:  []algebra.AggItem{{Fn: "count", Col: -1}, {Fn: "sum", Col: 1}, {Fn: "avg", Col: 1}},
 		Names: []string{"g", "c", "s", "a"}}
-	res, err := Rewrite(agg, Options{Parallel: 4, PartsHint: func(string) int { return 8 }})
+	res, err := Rewrite(agg, Options{Parallel: 4, GroupsHint: func(string) int { return 8 }})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -196,8 +196,8 @@ func TestParallelizeAggr(t *testing.T) {
 	if !strings.Contains(f, "XchgUnion(4)") {
 		t.Fatalf("no exchange:\n%s", f)
 	}
-	if !strings.Contains(f, "part 0/4") || !strings.Contains(f, "part 3/4") {
-		t.Fatalf("scan not partitioned:\n%s", f)
+	if !strings.Contains(f, "morsel worker 0/4") || !strings.Contains(f, "morsel worker 3/4") {
+		t.Fatalf("scan not morsel-cloned:\n%s", f)
 	}
 	// Output schema arity preserved.
 	if res.Node.Schema().Len() != agg.Schema().Len() {
@@ -205,15 +205,67 @@ func TestParallelizeAggr(t *testing.T) {
 	}
 }
 
-func TestParallelizeRespectsPartsHint(t *testing.T) {
+func TestParallelizeRespectsGroupsHint(t *testing.T) {
 	scan := scanNode(types.Col("v", types.Int64))
 	agg := &algebra.Aggr{Child: scan, Aggs: []algebra.AggItem{{Fn: "sum", Col: 0}}, Names: []string{"s"}}
-	res, err := Rewrite(agg, Options{Parallel: 8, PartsHint: func(string) int { return 1 }})
+	res, err := Rewrite(agg, Options{Parallel: 8, GroupsHint: func(string) int { return 1 }})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if strings.Contains(algebra.Format(res.Node), "Xchg") {
-		t.Fatal("parallelized despite parts hint of 1")
+		t.Fatal("parallelized despite a groups hint of 1")
+	}
+}
+
+func TestParallelizeSortAndTopN(t *testing.T) {
+	mk := func() *algebra.Sort {
+		scan := scanNode(types.Col("v", types.Int64))
+		return &algebra.Sort{Child: scan, Keys: []algebra.SortKey{{Col: 0}}}
+	}
+	res, err := Rewrite(mk(), Options{Parallel: 3, GroupsHint: func(string) int { return 8 }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := algebra.Format(res.Node)
+	if !strings.Contains(f, "XchgMerge(3") {
+		t.Fatalf("sort not exchanged into a merge:\n%s", f)
+	}
+	if strings.Count(f, "Sort(") != 3 {
+		t.Fatalf("want 3 local sorts:\n%s", f)
+	}
+
+	scan := scanNode(types.Col("v", types.Int64))
+	topn := &algebra.TopN{Child: scan, Keys: []algebra.SortKey{{Col: 0, Desc: true}}, N: 5}
+	res, err = Rewrite(topn, Options{Parallel: 2, GroupsHint: func(string) int { return 8 }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f = algebra.Format(res.Node)
+	if !strings.Contains(f, "Limit(0, 5)") || !strings.Contains(f, "XchgMerge(2") ||
+		strings.Count(f, "TopN(") != 2 {
+		t.Fatalf("TopN not parallelized as Limit(XchgMerge(TopN…)):\n%s", f)
+	}
+}
+
+func TestParallelizeHashJoinProbe(t *testing.T) {
+	probe := scanNode(types.Col("x", types.Int64))
+	build := scanNode(types.Col("y", types.Int64))
+	j := &algebra.HashJoin{Left: probe, Right: build, Kind: algebra.Inner,
+		LeftKeys: []int{0}, RightKeys: []int{0}, LeftKeyNull: -1, RightKeyNull: -1}
+	res, err := Rewrite(j, Options{Parallel: 4, GroupsHint: func(string) int { return 8 }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := algebra.Format(res.Node)
+	if !strings.Contains(f, "ParallelHashJoin") || !strings.Contains(f, "probes=4") {
+		t.Fatalf("probe side not parallelized:\n%s", f)
+	}
+	if !strings.Contains(f, "morsel worker 3/4") {
+		t.Fatalf("probe scans not morsel-cloned:\n%s", f)
+	}
+	// Build side stays a single serial scan; schema matches the serial join.
+	if res.Node.Schema().Len() != j.Schema().Len() {
+		t.Fatalf("parallel join changed schema: %s vs %s", res.Node.Schema(), j.Schema())
 	}
 }
 
