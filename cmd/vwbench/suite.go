@@ -8,17 +8,23 @@ import (
 	"io"
 	"log"
 	"os"
+	"reflect"
 	"sort"
+	"sync"
+	"time"
 
+	"vectorwise/internal/colstore"
 	"vectorwise/internal/datagen"
 	"vectorwise/internal/engine"
 	"vectorwise/internal/metrics"
+	"vectorwise/internal/session"
 	"vectorwise/internal/types"
 )
 
 // Suite mode runs a fixed scan/filter/agg/join grid at two scales, plus a
-// parallel-scaling matrix (pscan/pjoin/psort × P=1,2,4) at the large scale,
-// and emits a machine-readable report (schema vwbench/v2) with the
+// parallel-scaling matrix (pscan/pjoin/psort × P=1,2,4) and a concurrency
+// matrix (cscan × C=1,4,8 × cooperative/LRU buffering) at the large scale,
+// and emits a machine-readable report (schema vwbench/v3) with the
 // engine-metric deltas attracted by each cell. -check validates a previously
 // emitted report — optionally diffing its timings against an older artifact
 // via -prev — which is what CI's bench-smoke job does.
@@ -30,19 +36,32 @@ var (
 )
 
 // suiteSchema identifies the report format; bump on breaking changes.
-// v2 added the parallel-scaling cells (Parallel > 0).
-const suiteSchema = "vwbench/v2"
+// v2 added the parallel-scaling cells (Parallel > 0); v3 the concurrency
+// cells (Clients > 0) with their physical loads-per-query.
+const suiteSchema = "vwbench/v3"
 
 type suiteCell struct {
-	Name       string             `json:"name"`
-	Rows       int                `json:"rows"`
-	Parallel   int                `json:"parallel,omitempty"` // 0 = serial grid cell
-	Seconds    float64            `json:"seconds"`
-	ResultRows int64              `json:"result_rows"`
-	Metrics    map[string]float64 `json:"metrics"`
+	Name       string  `json:"name"`
+	Rows       int     `json:"rows"`
+	Parallel   int     `json:"parallel,omitempty"` // 0 = serial grid cell
+	Clients    int     `json:"clients,omitempty"`  // >0 = concurrency cell
+	Coop       bool    `json:"coop,omitempty"`     // concurrency cells: sharing mode
+	Seconds    float64 `json:"seconds"`
+	ResultRows int64   `json:"result_rows"`
+	// LoadsPerQuery is the physical row-group reads per client query
+	// (concurrency cells only): the number cooperative scans push sublinear.
+	LoadsPerQuery float64            `json:"loads_per_query,omitempty"`
+	Metrics       map[string]float64 `json:"metrics"`
 }
 
 func (c *suiteCell) key() string {
+	if c.Clients > 0 {
+		mode := "lru"
+		if c.Coop {
+			mode = "coop"
+		}
+		return fmt.Sprintf("%s@%d/C%d+%s", c.Name, c.Rows, c.Clients, mode)
+	}
 	if c.Parallel > 0 {
 		return fmt.Sprintf("%s@%d/P%d", c.Name, c.Rows, c.Parallel)
 	}
@@ -80,6 +99,44 @@ var scalingQueries = []struct{ name, sql string }{
 		ORDER BY l_extendedprice DESC, l_orderkey LIMIT 100`},
 }
 
+// The concurrency matrix: C clients issue the same full scan through a
+// session pool while the buffer pool holds far fewer groups than the table,
+// once with cooperative scans and once with plain LRU. Run at the large
+// scale only.
+var concurrencyClients = []int{1, 4, 8}
+
+const (
+	cscanName        = "cscan"
+	concurrencyPool  = 4                      // admission slots (< max client count)
+	concurrencyCap   = 8                      // max buffer-pool capacity in row groups
+	concurrencyDelay = 200 * time.Microsecond // simulated per-group read latency
+)
+
+// concurrencyBuffer sizes the buffer pool well below the table's group
+// count (clamped to [2, concurrencyCap]) so every scan must do physical
+// reads even at small -rows; a pool that swallows the whole table would
+// record zero loads and void the cell.
+func concurrencyBuffer(scale int) int {
+	groups := (scale + colstore.BlockRows - 1) / colstore.BlockRows
+	capacity := groups / 4
+	if capacity < 2 {
+		capacity = 2
+	}
+	if capacity > concurrencyCap {
+		capacity = concurrencyCap
+	}
+	return capacity
+}
+
+// cscan aggregates are order-independent (integer sums, MIN/MAX) so the
+// byte-identical-to-serial check holds regardless of morsel interleaving;
+// a float SUM would drift with the parallel reduction order.
+const (
+	cscanBaseSQL = `SELECT COUNT(*), SUM(l_orderkey), SUM(l_quantity),
+		MIN(l_extendedprice), MAX(l_extendedprice) FROM lineitem`
+	cscanSQL = cscanBaseSQL + ` WITH (PARALLEL=2)`
+)
+
 // counterSnapshot captures every counter in the registry for delta-ing.
 func counterSnapshot() map[string]float64 {
 	out := map[string]float64{}
@@ -104,6 +161,13 @@ func metricDeltas(before, after map[string]float64) map[string]float64 {
 
 func suiteDB(rows int) *engine.DB {
 	db := engine.Open()
+	loadSuiteTables(db, rows)
+	return db
+}
+
+// loadSuiteTables fills a (possibly pre-configured) DB with the suite's
+// lineitem/orders tables.
+func loadSuiteTables(db *engine.DB, rows int) {
 	ctx := context.Background()
 	mustRun(db, ctx, datagen.LineitemDDL)
 	mustRun(db, ctx, datagen.OrdersDDL)
@@ -115,7 +179,6 @@ func suiteDB(rows int) *engine.DB {
 		return datagen.Orders(sf, 42, emit)
 	}))
 	mustRun(db, ctx, "ANALYZE lineitem")
-	return db
 }
 
 // runCell measures one suite query on db and appends the cell to rep.
@@ -142,6 +205,79 @@ func runCell(rep *suiteReport, db *engine.DB, name, sql string, scale, parallel 
 	fmt.Printf("%-14s rows=%-9d %12v  (%d result rows)\n", cell.key(), scale, d, resRows)
 }
 
+// runConcurrencyCells measures C concurrent cscan queries through the
+// session layer, in cooperative and LRU-only modes. Each mode gets a fresh
+// DB whose buffer pool is far smaller than the table and whose group reads
+// carry a simulated latency, so buffering policy — not CPU — dominates.
+// Every client's result must match the serial answer exactly; the cell
+// records the physical loads per query, which cooperative scans push
+// sublinear in C.
+func runConcurrencyCells(rep *suiteReport, scale int) {
+	for _, coop := range []bool{true, false} {
+		db := engine.Open()
+		db.CoopScans = coop
+		db.BufferGroups = concurrencyBuffer(scale)
+		db.ScanIODelay = concurrencyDelay
+		loadSuiteTables(db, scale)
+		ctx := context.Background()
+		serial := mustRun(db, ctx, cscanBaseSQL)
+		pool := session.NewPool(db, session.Config{
+			MaxConcurrent: concurrencyPool,
+			MaxQueue:      2 * concurrencyClients[len(concurrencyClients)-1],
+		})
+		for _, clients := range concurrencyClients {
+			lruB, coopB, _ := db.ShareStats("lineitem")
+			before := counterSnapshot()
+			results := make([]*engine.Result, clients)
+			errs := make([]error, clients)
+			var wg sync.WaitGroup
+			start := time.Now()
+			for i := 0; i < clients; i++ {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					s, err := pool.Open()
+					if err != nil {
+						errs[i] = err
+						return
+					}
+					defer s.Close()
+					results[i], errs[i] = s.Exec(ctx, cscanSQL)
+				}(i)
+			}
+			wg.Wait()
+			d := time.Since(start)
+			for i := 0; i < clients; i++ {
+				if errs[i] != nil {
+					log.Fatalf("cscan C=%d coop=%v client %d: %v", clients, coop, i, errs[i])
+				}
+				if !reflect.DeepEqual(results[i].Rows, serial.Rows) {
+					log.Fatalf("cscan C=%d coop=%v client %d: result diverges from serial:\n%v\nwant %v",
+						clients, coop, i, results[i].Rows, serial.Rows)
+				}
+			}
+			lruA, coopA, ok := db.ShareStats("lineitem")
+			if !ok {
+				log.Fatal("cscan: no scan share built for lineitem")
+			}
+			loads := float64(lruA.Loads-lruB.Loads) + float64(coopA.Loads-coopB.Loads)
+			cell := suiteCell{
+				Name:          cscanName,
+				Rows:          scale,
+				Clients:       clients,
+				Coop:          coop,
+				Seconds:       d.Seconds(),
+				ResultRows:    int64(len(serial.Rows)),
+				LoadsPerQuery: loads / float64(clients),
+				Metrics:       metricDeltas(before, counterSnapshot()),
+			}
+			rep.Results = append(rep.Results, cell)
+			fmt.Printf("%-18s rows=%-9d %12v  loads/query=%.1f\n",
+				cell.key(), scale, d, cell.LoadsPerQuery)
+		}
+	}
+}
+
 func runSuite() {
 	scales := []int{*rows, *rows * 4}
 	rep := suiteReport{Schema: suiteSchema, Scales: scales, Reps: *reps}
@@ -158,6 +294,7 @@ func runSuite() {
 			}
 		}
 	}
+	runConcurrencyCells(&rep, scales[len(scales)-1])
 	out, err := json.MarshalIndent(&rep, "", "  ")
 	check(err)
 	out = append(out, '\n')
@@ -202,7 +339,7 @@ func checkReport(data []byte) []string {
 		if len(c.Metrics) == 0 {
 			problems = append(problems, id+": no metric deltas")
 		}
-		if c.Parallel > 0 {
+		if c.Parallel > 0 || c.Clients > 0 {
 			rk := fmt.Sprintf("%s@%d", c.Name, c.Rows)
 			if prev, ok := parRows[rk]; !ok {
 				parRows[rk] = c.ResultRows
@@ -210,6 +347,9 @@ func checkReport(data []byte) []string {
 				problems = append(problems, fmt.Sprintf(
 					"%s: %d result rows, other degrees saw %d", id, c.ResultRows, prev))
 			}
+		}
+		if c.Clients > 0 && c.LoadsPerQuery <= 0 {
+			problems = append(problems, id+": no physical loads recorded (scans bypassed the buffer seam)")
 		}
 		seen[c.key()] = true
 	}
@@ -228,6 +368,14 @@ func checkReport(data []byte) []string {
 				key := fmt.Sprintf("%s@%d/P%d", q.name, large, p)
 				if !seen[key] {
 					problems = append(problems, "missing scaling cell "+key)
+				}
+			}
+		}
+		for _, mode := range []string{"coop", "lru"} {
+			for _, cl := range concurrencyClients {
+				key := fmt.Sprintf("%s@%d/C%d+%s", cscanName, large, cl, mode)
+				if !seen[key] {
+					problems = append(problems, "missing concurrency cell "+key)
 				}
 			}
 		}
@@ -272,6 +420,22 @@ func diffReports(w io.Writer, prev, cur []byte) error {
 		if c.Parallel > 1 {
 			if b := base[fmt.Sprintf("%s@%d", c.Name, c.Rows)]; b > 0 {
 				fmt.Fprintf(w, "scaling %-12s speedup vs P=1: %.2fx\n", c.key(), b/c.Seconds)
+			}
+		}
+	}
+	// Cooperative-scan effect: physical loads per query, coop vs LRU at the
+	// same client count.
+	lruLoads := map[string]float64{}
+	for _, c := range now.Results {
+		if c.Clients > 0 && !c.Coop {
+			lruLoads[fmt.Sprintf("%s@%d/C%d", c.Name, c.Rows, c.Clients)] = c.LoadsPerQuery
+		}
+	}
+	for _, c := range now.Results {
+		if c.Clients > 0 && c.Coop {
+			if l := lruLoads[fmt.Sprintf("%s@%d/C%d", c.Name, c.Rows, c.Clients)]; l > 0 {
+				fmt.Fprintf(w, "coop    %-12s loads/query: %.1f vs lru %.1f\n",
+					c.key(), c.LoadsPerQuery, l)
 			}
 		}
 	}

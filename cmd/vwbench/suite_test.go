@@ -31,6 +31,24 @@ func validReport() suiteReport {
 			})
 		}
 	}
+	for _, coop := range []bool{true, false} {
+		for _, cl := range concurrencyClients {
+			loads := 10.0 // LRU reloads the table per client
+			if coop {
+				loads = 10.0 / float64(cl) // cooperative scans share reads
+			}
+			rep.Results = append(rep.Results, suiteCell{
+				Name:          cscanName,
+				Rows:          large,
+				Clients:       cl,
+				Coop:          coop,
+				Seconds:       0.003,
+				ResultRows:    1,
+				LoadsPerQuery: loads,
+				Metrics:       map[string]float64{"bufmgr_loads_total": 10},
+			})
+		}
+	}
 	return rep
 }
 
@@ -60,12 +78,23 @@ func TestCheckReportMalformed(t *testing.T) {
 		{"missing cell", func(r *suiteReport) { r.Results = r.Results[1:] }, "missing cell"},
 		{"zero seconds", func(r *suiteReport) { r.Results[0].Seconds = 0 }, "seconds"},
 		{"no metrics", func(r *suiteReport) { r.Results[0].Metrics = nil }, "metric deltas"},
-		{"missing scaling cell", func(r *suiteReport) {
+		{"missing concurrency cell", func(r *suiteReport) {
 			r.Results = r.Results[:len(r.Results)-1]
-		}, "missing scaling cell"},
+		}, "missing concurrency cell"},
 		{"degree rows disagree", func(r *suiteReport) {
 			r.Results[len(r.Results)-1].ResultRows = 99
 		}, "result rows"},
+		{"concurrency cell without loads", func(r *suiteReport) {
+			r.Results[len(r.Results)-1].LoadsPerQuery = 0
+		}, "no physical loads"},
+		{"missing scaling cell", func(r *suiteReport) {
+			for i, c := range r.Results {
+				if c.Parallel == 4 && c.Name == "psort" {
+					r.Results = append(r.Results[:i], r.Results[i+1:]...)
+					return
+				}
+			}
+		}, "missing scaling cell"},
 	}
 	for _, tc := range cases {
 		rep := validReport()
@@ -104,10 +133,12 @@ func TestDiffReports(t *testing.T) {
 	}
 	out := buf.String()
 	for _, want := range []string{
-		"scan@1000",             // shared cell diffed
-		"new",                   // cells absent from prev flagged, not failed
-		"scaling pscan@4000/P4", // speedup line per parallel cell
-		"speedup vs P=1: 4.00x", // 0.002/P timings → P× speedup
+		"scan@1000",                  // shared cell diffed
+		"new",                        // cells absent from prev flagged, not failed
+		"scaling pscan@4000/P4",      // speedup line per parallel cell
+		"speedup vs P=1: 4.00x",      // 0.002/P timings → P× speedup
+		"cscan@4000/C8+coop",         // concurrency cells appear
+		"loads/query: 1.2 vs lru 10", // coop-vs-lru comparison line
 	} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("diff output lacks %q:\n%s", want, out)

@@ -1,0 +1,150 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"net"
+	"strings"
+	"sync"
+	"time"
+
+	"vectorwise/internal/engine"
+	"vectorwise/internal/session"
+	"vectorwise/internal/wire"
+)
+
+// server accepts TCP connections and runs one Session per connection.
+// Statements arrive as plain SQL text terminated by ';' (the wire package
+// documents the framing); queries from different connections run
+// concurrently, throttled by the pool's admission control.
+type server struct {
+	pool *session.Pool
+	ln   net.Listener
+
+	// ctx is the lifetime of queries; cancelled only when a drain deadline
+	// forces shutdown.
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	wg      sync.WaitGroup
+	mu      sync.Mutex
+	conns   map[net.Conn]struct{}
+	closing bool
+}
+
+func newServer(pool *session.Pool, ln net.Listener) *server {
+	ctx, cancel := context.WithCancel(context.Background())
+	return &server{pool: pool, ln: ln, ctx: ctx, cancel: cancel,
+		conns: map[net.Conn]struct{}{}}
+}
+
+// serve runs the accept loop until the listener closes. Returns nil when
+// the close was a shutdown, the accept error otherwise.
+func (s *server) serve() error {
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closing := s.closing
+			s.mu.Unlock()
+			if closing {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.closing {
+			s.mu.Unlock()
+			conn.Close()
+			continue
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.handle(conn)
+	}
+}
+
+// shutdown stops accepting, waits up to drain for connections to finish,
+// then aborts running queries and force-closes what remains. Safe to call
+// once; blocks until every handler has exited.
+func (s *server) shutdown(drain time.Duration) {
+	s.mu.Lock()
+	if s.closing {
+		s.mu.Unlock()
+		return
+	}
+	s.closing = true
+	s.mu.Unlock()
+	s.ln.Close()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(drain):
+		s.cancel()
+		s.mu.Lock()
+		for c := range s.conns {
+			c.Close()
+		}
+		s.mu.Unlock()
+		<-done
+	}
+	s.pool.Close()
+}
+
+// handle serves one connection: open a session, loop statements, frame
+// responses.
+func (s *server) handle(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	w := bufio.NewWriter(conn)
+	sess, err := s.pool.Open()
+	if err != nil {
+		wire.WriteResponse(w, err.Error(), "")
+		return
+	}
+	defer sess.Close()
+
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	var buf strings.Builder
+	for sc.Scan() {
+		line := sc.Text()
+		trimmed := strings.TrimSpace(line)
+		if buf.Len() == 0 {
+			if trimmed == "" {
+				continue
+			}
+			if trimmed == `\q` || trimmed == `\quit` {
+				return
+			}
+		}
+		buf.WriteString(line)
+		buf.WriteByte('\n')
+		if !strings.Contains(line, ";") {
+			continue
+		}
+		script := buf.String()
+		buf.Reset()
+		res, err := sess.ExecScript(s.ctx, script)
+		var errMsg, body string
+		if err != nil {
+			errMsg = err.Error()
+		} else if res != nil {
+			body = engine.FormatResult(res)
+		}
+		if werr := wire.WriteResponse(w, errMsg, body); werr != nil {
+			return
+		}
+	}
+}

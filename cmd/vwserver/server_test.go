@@ -1,0 +1,209 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"vectorwise/internal/engine"
+	"vectorwise/internal/session"
+	"vectorwise/internal/types"
+	"vectorwise/internal/wire"
+)
+
+// startServer boots a server on a loopback port over a table with rows
+// rows, returning the dial address and a shutdown func.
+func startServer(t *testing.T, rows int, cfg session.Config) (string, *server) {
+	t.Helper()
+	db := engine.Open()
+	db.BufferGroups = 4
+	if _, err := db.Exec(t.Context(), `CREATE TABLE t (k BIGINT, v DOUBLE)`); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.LoadBatchFunc("t", func(emit func([]types.Value) error) error {
+		for i := 0; i < rows; i++ {
+			if err := emit([]types.Value{
+				types.NewInt64(int64(i)),
+				types.NewFloat64(float64(i) * 0.5),
+			}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	p := session.NewPool(db, cfg)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := newServer(p, ln)
+	go srv.serve()
+	return ln.Addr().String(), srv
+}
+
+type client struct {
+	conn net.Conn
+	r    *bufio.Reader
+	w    *bufio.Writer
+}
+
+func dialClient(t *testing.T, addr string) *client {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &client{conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn)}
+}
+
+// query sends one statement and reads the framed response.
+func (c *client) query(sql string) (string, string, error) {
+	if _, err := fmt.Fprintln(c.w, sql); err != nil {
+		return "", "", err
+	}
+	if err := c.w.Flush(); err != nil {
+		return "", "", err
+	}
+	return wire.ReadResponse(c.r)
+}
+
+func (c *client) close() { c.conn.Close() }
+
+func TestServerSingleClient(t *testing.T) {
+	addr, srv := startServer(t, 10000, session.Config{MaxConcurrent: 2})
+	defer srv.shutdown(time.Second)
+	c := dialClient(t, addr)
+	defer c.close()
+
+	body, serverErr, err := c.query(`SELECT COUNT(*), SUM(k) FROM t;`)
+	if err != nil || serverErr != "" {
+		t.Fatalf("query failed: %v / %q", err, serverErr)
+	}
+	if !strings.Contains(body, "10000") || !strings.Contains(body, "49995000") {
+		t.Fatalf("unexpected body:\n%s", body)
+	}
+
+	// Errors come back framed, and the connection keeps working after.
+	_, serverErr, err = c.query(`SELECT nope FROM missing;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serverErr == "" {
+		t.Fatal("bad SQL produced no server error")
+	}
+	body, serverErr, err = c.query(`SELECT COUNT(*) FROM t;`)
+	if err != nil || serverErr != "" || !strings.Contains(body, "10000") {
+		t.Fatalf("connection broken after error: %v %q\n%s", err, serverErr, body)
+	}
+}
+
+func TestServerMultilineStatement(t *testing.T) {
+	addr, srv := startServer(t, 1000, session.Config{MaxConcurrent: 2})
+	defer srv.shutdown(time.Second)
+	c := dialClient(t, addr)
+	defer c.close()
+	for _, line := range []string{"SELECT", "  COUNT(*)", "FROM t"} {
+		fmt.Fprintln(c.w, line)
+	}
+	body, serverErr, err := c.query(";")
+	if err != nil || serverErr != "" {
+		t.Fatalf("multiline failed: %v / %q", err, serverErr)
+	}
+	if !strings.Contains(body, "1000") {
+		t.Fatalf("body:\n%s", body)
+	}
+}
+
+// Four concurrent clients hammer the same table through a pool of 2:
+// results all match, the pool drains, and no handler goroutines leak
+// after shutdown.
+func TestServerConcurrentClients(t *testing.T) {
+	const clients, reps = 4, 3
+	addr, srv := startServer(t, 60000, session.Config{
+		MaxConcurrent: 2, MaxQueue: 8, MemBudget: 64 << 20, QueryBudget: 8 << 20,
+	})
+	base := runtime.NumGoroutine()
+
+	// The serial answer, through its own connection.
+	ref := dialClient(t, addr)
+	want, serverErr, err := ref.query(`SELECT COUNT(*), SUM(k), SUM(v) FROM t;`)
+	if err != nil || serverErr != "" {
+		t.Fatalf("ref query: %v / %q", err, serverErr)
+	}
+	ref.close()
+
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c := dialClient(t, addr)
+			defer c.close()
+			for r := 0; r < reps; r++ {
+				body, serverErr, err := c.query(
+					`SELECT COUNT(*), SUM(k), SUM(v) FROM t WITH (PARALLEL=2);`)
+				if err != nil || serverErr != "" {
+					t.Errorf("client %d rep %d: %v / %q", i, r, err, serverErr)
+					return
+				}
+				if body != want {
+					t.Errorf("client %d rep %d:\n%s\nwant:\n%s", i, r, body, want)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	// sys.sessions is visible over the wire while a connection is open.
+	c := dialClient(t, addr)
+	body, serverErr, err := c.query(`SELECT COUNT(*) FROM sys.sessions;`)
+	if err != nil || serverErr != "" || !strings.Contains(body, "1") {
+		t.Fatalf("sys.sessions over the wire: %v %q\n%s", err, serverErr, body)
+	}
+	c.close()
+
+	srv.shutdown(2 * time.Second)
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > base+2 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > base+2 {
+		t.Fatalf("goroutines leaked: %d > baseline %d", n, base)
+	}
+	if st := srv.pool.Stats(); st.Running != 0 || st.Queued != 0 || st.Sessions != 0 {
+		t.Fatalf("pool not drained after shutdown: %+v", st)
+	}
+}
+
+// \q closes the connection server-side; shutdown with no open connections
+// returns promptly.
+func TestServerQuitAndShutdown(t *testing.T) {
+	addr, srv := startServer(t, 100, session.Config{MaxConcurrent: 1})
+	c := dialClient(t, addr)
+	fmt.Fprintln(c.w, `\q`)
+	c.w.Flush()
+	if _, err := c.r.ReadByte(); err == nil {
+		t.Fatal("connection still open after \\q")
+	}
+	c.close()
+	done := make(chan struct{})
+	go func() { srv.shutdown(5 * time.Second); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("shutdown hung with no connections")
+	}
+	// New connections are refused after shutdown.
+	if conn, err := net.Dial("tcp", addr); err == nil {
+		conn.Close()
+		t.Fatal("listener still accepting after shutdown")
+	}
+}

@@ -3,6 +3,11 @@
 // \events dumps the monitor's event log, \plan [id] shows the physical
 // plan a query ran with (most recent when id is omitted), \stats dumps the
 // engine metrics registry, \trace [id] shows a query's per-phase trace.
+//
+// With -connect addr the shell runs no engine of its own: it becomes a
+// client of a vwserver, forwarding statements over the line protocol and
+// printing framed responses (meta commands other than \q are server-side
+// SQL away — see sys.metrics, sys.queries, sys.sessions).
 package main
 
 import (
@@ -10,6 +15,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"strconv"
 	"strings"
@@ -19,6 +25,7 @@ import (
 	"vectorwise/internal/engine"
 	"vectorwise/internal/metrics"
 	"vectorwise/internal/monitor"
+	"vectorwise/internal/wire"
 )
 
 func main() {
@@ -26,7 +33,16 @@ func main() {
 	timing := flag.Bool("timing", true, "print per-statement wall time")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics and /debug/pprof on this address (off when empty)")
 	slowMs := flag.Int("slow-query-ms", 0, "log queries slower than this many milliseconds (0 disables)")
+	connect := flag.String("connect", "", "connect to a vwserver at this address instead of running an embedded engine")
 	flag.Parse()
+
+	if *connect != "" {
+		if err := runClient(*connect, *timing); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	db := engine.Open()
 	db.Parallel = *parallel
@@ -101,6 +117,67 @@ func main() {
 			fmt.Print("vw> ")
 		}
 	}
+}
+
+// runClient speaks the vwserver line protocol: forward ';'-terminated
+// statements, print each framed response.
+func runClient(addr string, timing bool) error {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	r := bufio.NewReader(conn)
+	w := bufio.NewWriter(conn)
+
+	interactive := isTerminal()
+	if interactive {
+		fmt.Printf("connected to vwserver at %s — end statements with ';', \\q to quit\n", addr)
+		fmt.Print("vw> ")
+	}
+	scanner := bufio.NewScanner(os.Stdin)
+	scanner.Buffer(make([]byte, 1<<20), 1<<24)
+	var buf strings.Builder
+	for scanner.Scan() {
+		line := scanner.Text()
+		trimmed := strings.TrimSpace(line)
+		if buf.Len() == 0 && (trimmed == `\q` || trimmed == `\quit`) {
+			return nil
+		}
+		buf.WriteString(line)
+		buf.WriteByte('\n')
+		if !strings.Contains(line, ";") {
+			if interactive {
+				fmt.Print("..> ")
+			}
+			continue
+		}
+		stmtText := buf.String()
+		buf.Reset()
+		t0 := time.Now()
+		if _, err := w.WriteString(stmtText); err != nil {
+			return err
+		}
+		if err := w.Flush(); err != nil {
+			return err
+		}
+		body, serverErr, err := wire.ReadResponse(r)
+		switch {
+		case err != nil:
+			return fmt.Errorf("server connection lost: %w", err)
+		case serverErr != "":
+			fmt.Fprintln(os.Stderr, "error:", serverErr)
+		default:
+			fmt.Print(body)
+			if timing {
+				fmt.Printf("time: %v\n", time.Since(t0).Round(time.Microsecond))
+			}
+		}
+		if interactive {
+			fmt.Print("vw> ")
+		}
+	}
+	return scanner.Err()
 }
 
 // showPlan prints the physical plan recorded for a query: by monitor ID

@@ -32,6 +32,10 @@ var (
 	mCoopLoads    = metrics.Default.Counter("bufmgr_coop_loads_total")
 	mCoopEvict    = metrics.Default.Counter("bufmgr_coop_evictions_total")
 	mCoopActive   = metrics.Default.Gauge("bufmgr_coop_active_scans")
+	// coop_shared_loads_total counts physical loads that served two or more
+	// attached scans at load time — the reads the cooperative policy turned
+	// from per-query into shared I/O.
+	mCoopSharedLoads = metrics.Default.Counter("coop_shared_loads_total")
 )
 
 // Source supplies chunk data; reads carry the (simulated or real) I/O cost.
@@ -44,8 +48,9 @@ type Source interface {
 
 // Stats counts buffer-manager activity.
 type Stats struct {
-	Loads int64 // physical chunk reads
-	Hits  int64 // chunks served from the pool
+	Loads       int64 // physical chunk reads
+	Hits        int64 // chunks served from the pool
+	SharedLoads int64 // loads wanted by >= 2 scans at load time (ABM only)
 }
 
 // LRUPool is the classic shared buffer pool: capacity slots, least-recently-

@@ -74,16 +74,22 @@ func (a *ABM) AttachRange(lo, hi int) *CoopScan {
 	return s
 }
 
-// Detach removes the scan (also called implicitly when it finishes).
+// Detach removes the scan (also called implicitly when it finishes or when
+// Next fails). Idempotent; always wakes waiters so nobody blocks on the
+// departed scan's interest set.
 func (s *CoopScan) Detach() {
 	a := s.abm
 	a.mu.Lock()
+	a.detachLocked(s)
+	a.mu.Unlock()
+}
+
+func (a *ABM) detachLocked(s *CoopScan) {
 	if _, attached := a.scans[s]; attached {
 		delete(a.scans, s)
 		mCoopActive.Add(-1)
 	}
 	a.cond.Broadcast()
-	a.mu.Unlock()
 }
 
 // Remaining returns how many chunks the scan still needs.
@@ -102,14 +108,14 @@ func (s *CoopScan) Next(ctx context.Context) (id int, data []byte, ok bool, err 
 	defer a.mu.Unlock()
 	for {
 		if err := ctx.Err(); err != nil {
+			// A cancelled scan must leave the ABM: a lingering attachment
+			// would keep inflating chunk relevance and pinning residents
+			// against eviction for the rest of the manager's life.
+			a.detachLocked(s)
 			return 0, nil, false, err
 		}
 		if s.left == 0 {
-			if _, attached := a.scans[s]; attached {
-				delete(a.scans, s)
-				mCoopActive.Add(-1)
-			}
-			a.cond.Broadcast()
+			a.detachLocked(s)
 			return 0, nil, false, nil
 		}
 		// 1. Deliver a resident relevant chunk.
@@ -142,11 +148,15 @@ func (s *CoopScan) Next(ctx context.Context) (id int, data []byte, ok bool, err 
 		a.mu.Lock()
 		delete(a.loading, c)
 		if err != nil {
-			a.cond.Broadcast()
+			a.detachLocked(s)
 			return 0, nil, false, err
 		}
 		a.stats.Loads++
 		mCoopLoads.Inc()
+		if a.wantersLocked(c) >= 2 {
+			a.stats.SharedLoads++
+			mCoopSharedLoads.Inc()
+		}
 		a.insertLocked(c, d)
 		a.cond.Broadcast()
 		// Loop back: the loaded chunk is now resident and relevant.
@@ -159,12 +169,29 @@ func (a *ABM) waitCancellable(ctx context.Context) {
 	go func() {
 		select {
 		case <-ctx.Done():
+			// Take the mutex before broadcasting: the caller holds it until
+			// cond.Wait actually parks, so locking here guarantees the
+			// broadcast cannot fire in the window before the wait begins (a
+			// missed wakeup that would strand a cancelled scan forever).
+			a.mu.Lock()
 			a.cond.Broadcast()
+			a.mu.Unlock()
 		case <-done:
 		}
 	}()
 	a.cond.Wait()
 	close(done)
+}
+
+// wantersLocked counts the attached scans that still need chunk c.
+func (a *ABM) wantersLocked(c int) int {
+	want := 0
+	for sc := range a.scans {
+		if sc.needed[c] {
+			want++
+		}
+	}
+	return want
 }
 
 // pickLoadLocked chooses the next chunk to read on behalf of scan s: the

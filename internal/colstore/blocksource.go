@@ -1,0 +1,59 @@
+package colstore
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+)
+
+// BlockSource supplies the raw compressed bytes of one row group — all
+// columns, framed by EncodeGroup. It is the seam between the scanner and the
+// buffer manager: a Scanner given a BlockSource pulls group payloads through
+// it (an LRU pool, or a cooperative ABM shared with sibling scans) instead
+// of reading the table's block list directly.
+type BlockSource interface {
+	FetchGroup(ctx context.Context, g int) ([]byte, error)
+}
+
+// EncodeGroup frames row group g as one payload: for each column in table
+// order, a uvarint length followed by the block's compressed bytes. Only the
+// data travels — block metadata (row count, codec kind is embedded in the
+// data, min/max) stays in the scanner's snapshot, so a payload plus the
+// snapshot is enough to decode.
+func (t *Table) EncodeGroup(g int) ([]byte, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if len(t.cols) == 0 || g < 0 || g >= len(t.cols[0].Blocks) {
+		return nil, fmt.Errorf("colstore: row group %d out of range", g)
+	}
+	size := 0
+	for c := range t.cols {
+		size += binary.MaxVarintLen64 + len(t.cols[c].Blocks[g].Data)
+	}
+	out := make([]byte, 0, size)
+	var hdr [binary.MaxVarintLen64]byte
+	for c := range t.cols {
+		d := t.cols[c].Blocks[g].Data
+		out = append(out, hdr[:binary.PutUvarint(hdr[:], uint64(len(d)))]...)
+		out = append(out, d...)
+	}
+	return out, nil
+}
+
+// DecodeGroupPayloads splits an EncodeGroup payload back into per-column
+// compressed blocks. The returned slices alias data (zero-copy).
+func DecodeGroupPayloads(data []byte, ncols int) ([][]byte, error) {
+	out := make([][]byte, ncols)
+	for c := 0; c < ncols; c++ {
+		n, w := binary.Uvarint(data)
+		if w <= 0 || uint64(len(data)-w) < n {
+			return nil, fmt.Errorf("colstore: truncated group payload at column %d", c)
+		}
+		out[c] = data[w : w+int(n)]
+		data = data[w+int(n):]
+	}
+	if len(data) != 0 {
+		return nil, fmt.Errorf("colstore: %d trailing bytes in group payload", len(data))
+	}
+	return out, nil
+}

@@ -1,6 +1,7 @@
 package colstore
 
 import (
+	"context"
 	"fmt"
 
 	"vectorwise/internal/metrics"
@@ -40,6 +41,13 @@ type Scanner struct {
 	loaded  bool
 	skipped int
 	total   int // row groups this scanner covers (its partition)
+
+	// When src is set, group bytes come through the buffer manager instead
+	// of the block snapshot; pending holds the current group's per-column
+	// payloads (delivered out of band via SeekGroupData, or fetched lazily).
+	src     BlockSource
+	srcCtx  context.Context
+	pending [][]byte
 }
 
 // RangeFilter restricts a column to [Lo, Hi] (inclusive; either may be nil
@@ -106,8 +114,29 @@ func (s *Scanner) SeekGroup(g int) {
 	s.limit = g + 1
 	s.offset = 0
 	s.loaded = false
+	s.pending = nil
 	s.rowBase = s.prefix[g]
 	s.total++
+}
+
+// SetBlockSource routes group reads through src (a buffer-manager pool or a
+// cooperative scan). ctx bounds the fetches the scanner issues itself.
+func (s *Scanner) SetBlockSource(ctx context.Context, src BlockSource) {
+	s.src = src
+	s.srcCtx = ctx
+}
+
+// SeekGroupData repositions to group g with its payload already in hand —
+// the cooperative path, where the ABM decides which group arrives next and
+// hands the scanner its bytes directly.
+func (s *Scanner) SeekGroupData(g int, payload []byte) error {
+	s.SeekGroup(g)
+	cols, err := DecodeGroupPayloads(payload, len(s.blocks))
+	if err != nil {
+		return err
+	}
+	s.pending = cols
+	return nil
 }
 
 // NewScanner creates a scanner over the given column indexes with batches
@@ -178,9 +207,25 @@ func (s *Scanner) Next(b *vec.Batch) (start int64, n int, done bool, err error) 
 				mGroupsSkipped.Inc()
 				continue
 			}
+			if s.src != nil && s.pending == nil && len(s.cols) > 0 {
+				payload, err := s.src.FetchGroup(s.srcCtx, s.group)
+				if err != nil {
+					return 0, 0, false, err
+				}
+				cols, err := DecodeGroupPayloads(payload, len(s.blocks))
+				if err != nil {
+					return 0, 0, false, err
+				}
+				s.pending = cols
+			}
 			var decoded int64
 			for i, c := range s.cols {
 				blk := &s.blocks[c][s.group]
+				if s.pending != nil {
+					// Same metadata, buffer-manager bytes: the snapshot still
+					// supplies the row count, the payload the encoded data.
+					blk = &Block{Rows: blk.Rows, Codec: blk.Codec, Data: s.pending[c]}
+				}
 				if err := decodeBlock(s.t.cols[c].Type.Kind, blk, s.decoded[i]); err != nil {
 					return 0, 0, false, err
 				}
@@ -209,6 +254,7 @@ func (s *Scanner) Next(b *vec.Batch) (start int64, n int, done bool, err error) 
 			s.group++
 			s.offset = 0
 			s.loaded = false
+			s.pending = nil
 			s.rowBase += int64(gRows)
 		}
 		return start, n, false, nil

@@ -27,7 +27,8 @@ import (
 	"vectorwise/internal/types"
 )
 
-// DB is a database instance.
+// DB is a database instance: the shared storage/compile core that sessions
+// (internal/session), the shell, and the server are all clients of.
 type DB struct {
 	mu      sync.RWMutex
 	tables  map[string]*tableEntry
@@ -39,6 +40,33 @@ type DB struct {
 	// VectorSize overrides the default vector length (0 = vec.DefaultSize);
 	// experiment E2's knob.
 	VectorSize int
+	// BufferGroups is the per-table buffer-manager capacity in row groups
+	// (0 = DefaultBufferGroups). Small values make policy differences
+	// visible; production leaves the default.
+	BufferGroups int
+	// CoopScans lets concurrent parallel scans of one table attach to a
+	// shared cooperative ABM instead of each reading through the LRU pool.
+	// On by default; benchmarks toggle it to measure the difference.
+	CoopScans bool
+	// ScanIODelay adds a simulated per-group read latency to buffer-managed
+	// scans (benchmarks only; 0 in production).
+	ScanIODelay time.Duration
+	// SessionSource, when set by the session layer, supplies sys.sessions
+	// rows.
+	SessionSource func() []SessionInfo
+
+	shareMu sync.Mutex
+	shares  map[string]*scanShare
+}
+
+// SessionInfo is one row of sys.sessions, reported by the session layer.
+type SessionInfo struct {
+	ID       int64
+	State    string // "idle" | "active" | "queued"
+	Queries  int64  // statements executed so far
+	Active   int64  // statements currently running
+	Reserved int64  // bytes of admission budget currently reserved
+	AgeMS    float64
 }
 
 type tableEntry struct {
@@ -51,9 +79,11 @@ type tableEntry struct {
 // Open creates an empty in-memory database.
 func Open() *DB {
 	return &DB{
-		tables:  map[string]*tableEntry{},
-		stats:   map[string]map[string]*optimizer.ColStats{},
-		Monitor: monitor.New(2048),
+		tables:    map[string]*tableEntry{},
+		stats:     map[string]map[string]*optimizer.ColStats{},
+		shares:    map[string]*scanShare{},
+		Monitor:   monitor.New(2048),
+		CoopScans: true,
 	}
 }
 
@@ -70,12 +100,30 @@ type ctxKey int
 
 // parseSpanKey carries the parse-phase span from Exec (which owns parsing)
 // to execSelect (which owns the monitor record) without widening the public
-// ExecStmt signature.
-const parseSpanKey ctxKey = iota
+// ExecStmt signature. queryBudgetKey carries the session layer's per-query
+// memory budget the same way.
+const (
+	parseSpanKey ctxKey = iota
+	queryBudgetKey
+)
 
 func parseSpanFrom(ctx context.Context) (monitor.Span, bool) {
 	sp, ok := ctx.Value(parseSpanKey).(monitor.Span)
 	return sp, ok
+}
+
+// WithQueryBudget caps the bytes the query run under ctx may materialize in
+// sorts, join builds, and aggregation tables (0 = unlimited).
+func WithQueryBudget(ctx context.Context, bytes int64) context.Context {
+	if bytes <= 0 {
+		return ctx
+	}
+	return context.WithValue(ctx, queryBudgetKey, bytes)
+}
+
+func queryBudgetFrom(ctx context.Context) int64 {
+	n, _ := ctx.Value(queryBudgetKey).(int64)
+	return n
 }
 
 // Exec parses and executes one statement.

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"regexp"
 	"strconv"
 	"testing"
@@ -173,7 +174,7 @@ func TestParallelScanDeltaKeepsDegree(t *testing.T) {
 
 	// Direct check of the run-time decision: the session's morsel source
 	// degrades to a single serial stream exactly one worker can claim.
-	session := newQuerySession(db)
+	session := newQuerySession(db, context.Background())
 	defer session.close()
 	src, err := session.MorselSource("pts", []int{0}, 0, nil)
 	if err != nil {
@@ -205,7 +206,7 @@ func TestParallelScanDeltaKeepsDegree(t *testing.T) {
 	// And once the delta is checkpointed into stable storage, the same
 	// session API serves real morsels again.
 	mustExec(t, db, `CHECKPOINT pts`)
-	session2 := newQuerySession(db)
+	session2 := newQuerySession(db, context.Background())
 	defer session2.close()
 	src2, err := session2.MorselSource("pts", []int{0}, 0, nil)
 	if err != nil {

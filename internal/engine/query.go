@@ -154,7 +154,7 @@ func (db *DB) execSelect(ctx context.Context, s *sql.SelectStmt, text string) (*
 // instance carries per-operator counters when profile is set.
 func (db *DB) runCompiled(ctx context.Context, c *compiled, s *sql.SelectStmt, profile bool) (*Result, *physical.Instance, error) {
 	// Snapshot transactions per vectorwise table (consistent reads).
-	session := newQuerySession(db)
+	session := newQuerySession(db, ctx)
 	defer session.close()
 	inst, err := physical.Instantiate(c.phys, session)
 	if err != nil {
@@ -163,6 +163,9 @@ func (db *DB) runCompiled(ctx context.Context, c *compiled, s *sql.SelectStmt, p
 	ectx := exec.NewCtx(ctx)
 	ectx.Mode = expr.Mode{Checked: true}
 	ectx.Profile = profile
+	if budget := queryBudgetFrom(ctx); budget > 0 {
+		ectx.Budget = exec.NewMemBudget(budget)
+	}
 	if db.VectorSize > 0 {
 		ectx.VecSize = db.VectorSize
 	}
@@ -231,12 +234,19 @@ func newBatchFor(src pdt.BatchSource) *vec.Batch {
 // fragments from exchange goroutines, so the snapshot map is locked.
 type querySession struct {
 	db  *DB
+	ctx context.Context
 	mu  sync.Mutex
 	txs map[string]*txn.Txn
+	// releases un-registers this query's scans from per-table buffer-manager
+	// shares when the query finishes.
+	releases []func()
 }
 
-func newQuerySession(db *DB) *querySession {
-	return &querySession{db: db, txs: map[string]*txn.Txn{}}
+func newQuerySession(db *DB, ctx context.Context) *querySession {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return &querySession{db: db, ctx: ctx, txs: map[string]*txn.Txn{}}
 }
 
 func (qs *querySession) close() {
@@ -245,6 +255,16 @@ func (qs *querySession) close() {
 	for _, tx := range qs.txs {
 		tx.Abort()
 	}
+	for _, rel := range qs.releases {
+		rel()
+	}
+	qs.releases = nil
+}
+
+func (qs *querySession) addRelease(rel func()) {
+	qs.mu.Lock()
+	qs.releases = append(qs.releases, rel)
+	qs.mu.Unlock()
 }
 
 func (qs *querySession) txFor(table string) (*txn.Txn, error) {
@@ -290,7 +310,21 @@ func (qs *querySession) ScanSource(table string, cols []int, vecSize int, filter
 	if err != nil {
 		return nil, err
 	}
-	return tx.Scan(cols, vecSize, filters...)
+	src, err := tx.Scan(cols, vecSize, filters...)
+	if err != nil {
+		return nil, err
+	}
+	// Delta-free serial scans route group reads through the shared LRU pool
+	// (row order preserved — only where bytes come from changes). Delta
+	// paths merge positionally over the raw table and bypass the seam.
+	if cs, isCol := src.(*colstore.Scanner); isCol && tx.DeltaFree() {
+		if sh := qs.db.shareFor(table, tx.StableSnapshot()); sh != nil {
+			_, release := sh.beginScan()
+			qs.addRelease(release)
+			cs.SetBlockSource(qs.ctx, lruBlockSource{sh.lru})
+		}
+	}
+	return src, nil
 }
 
 // MorselSource implements physical.Env: the run-time view of a parallel
@@ -312,8 +346,23 @@ func (qs *querySession) MorselSource(table string, cols []int, vecSize int, filt
 		}
 		return exec.SerialMorselSource(src), nil
 	}
-	return &stableMorselSource{snap: tx.StableSnapshot(), cols: cols,
-		vecSize: vecSize, filters: filters}, nil
+	snap := tx.StableSnapshot()
+	base := &stableMorselSource{snap: snap, cols: cols, vecSize: vecSize, filters: filters}
+	sh := qs.db.shareFor(table, snap)
+	if sh == nil {
+		return base, nil
+	}
+	concurrent, release := sh.beginScan()
+	qs.addRelease(release)
+	cms := &coopMorselSource{stableMorselSource: base, ctx: qs.ctx, lru: sh.lru}
+	// Cooperate when the table has company and this is a full scan: the ABM
+	// delivers every group exactly once across the workers, in whatever
+	// order lets one physical read feed every attached query. Filtered
+	// scans skip groups, so they stay on the LRU path.
+	if qs.db.CoopScans && concurrent && len(filters) == 0 {
+		cms.stream = &coopStream{scan: sh.abm.Attach()}
+	}
+	return cms, nil
 }
 
 // stableMorselSource serves a delta-free stable snapshot as row-group

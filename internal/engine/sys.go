@@ -33,6 +33,14 @@ var sysSchemas = map[string]*types.Schema{
 		types.Col("kind", types.String),
 		types.Col("msg", types.String),
 	),
+	"sys.sessions": types.NewSchema(
+		types.Col("id", types.Int64),
+		types.Col("state", types.String),
+		types.Col("queries", types.Int64),
+		types.Col("active", types.Int64),
+		types.Col("reserved_bytes", types.Int64),
+		types.Col("age_ms", types.Float64),
+	),
 }
 
 // sysTableMeta resolves a virtual table's catalog entry (nil if name is not
@@ -93,6 +101,22 @@ func (db *DB) sysHeap(name string) (*rowengine.HeapTable, error) {
 				types.NewString(ev.Msg),
 			}); err != nil {
 				return nil, err
+			}
+		}
+	case "sys.sessions":
+		// Empty when no session layer is attached (library/REPL use).
+		if db.SessionSource != nil {
+			for _, si := range db.SessionSource() {
+				if err := insert([]types.Value{
+					types.NewInt64(si.ID),
+					types.NewString(si.State),
+					types.NewInt64(si.Queries),
+					types.NewInt64(si.Active),
+					types.NewInt64(si.Reserved),
+					types.NewFloat64(si.AgeMS),
+				}); err != nil {
+					return nil, err
+				}
 			}
 		}
 	}

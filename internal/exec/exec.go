@@ -47,6 +47,10 @@ type Ctx struct {
 	Mode expr.Mode
 	// Profile enables per-operator counters (claim C12: monitoring).
 	Profile bool
+	// Budget caps the bytes materializing operators may accumulate for this
+	// query; nil means unlimited. Set by the session layer's admission
+	// control.
+	Budget *MemBudget
 
 	// shared links sibling operators of one parallel fragment (a morsel
 	// queue shared by P scan workers), keyed by the plan-time spec that

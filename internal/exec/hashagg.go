@@ -276,13 +276,36 @@ func (h *HashAgg) consume() error {
 			h.groupBuf = make([]int32, rows)
 		}
 		groups := h.groupBuf[:rows]
+		prevGroups := h.nGroups
 		for k := 0; k < rows; k++ {
 			phys := int32(b.RowIndex(k))
 			gid := h.findOrInsert(hv[k], b, phys)
 			groups[k] = gid
 		}
+		if grown := h.nGroups - prevGroups; grown > 0 && h.ctx.Budget != nil {
+			// Aggregation memory grows with distinct groups, not input rows:
+			// bill the new groups' key + state footprint.
+			if err := h.ctx.Budget.Charge(int64(grown) * h.groupBytes()); err != nil {
+				return err
+			}
+		}
 		h.fold(groups, b)
 	}
+}
+
+// groupBytes estimates the per-group footprint: key values, hash and chain
+// slots, and one state slot per aggregate.
+func (h *HashAgg) groupBytes() int64 {
+	n := int64(16) // hash + chain link + slack
+	for _, g := range h.GroupCols {
+		if h.inK[g] == types.KindString {
+			n += 32
+		} else {
+			n += 8
+		}
+	}
+	n += int64(len(h.Aggs)) * 24
+	return n
 }
 
 func (h *HashAgg) findOrInsert(hash uint64, b *vec.Batch, phys int32) int32 {

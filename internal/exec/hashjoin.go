@@ -149,6 +149,9 @@ func buildHashTable(ctx *Ctx, src Operator, keys []int, keyNull int, trackNull b
 		if b == nil {
 			break
 		}
+		if err := ctx.charge(b); err != nil {
+			return nil, err
+		}
 		if trackNull && keyNull >= 0 {
 			if primitives.CountTrue(b.Vecs[keyNull].Bool, b.Sel, b.Full()) > 0 {
 				t.hasNullKey = true

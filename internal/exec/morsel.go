@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 
@@ -41,6 +42,32 @@ type MorselSource interface {
 	Worker() (MorselScanner, error)
 	// Serial returns the fallback stream when NumMorsels() == 0.
 	Serial() (pdt.BatchSource, error)
+}
+
+// CoopStream delivers row-group morsels with their raw bytes, in whatever
+// order benefits the system — the cooperative-scan path, where a shared
+// buffer manager decides which group every attached query receives next.
+// One stream is shared by all sibling workers of a fragment; each group is
+// delivered exactly once across them. ok=false means the scan has consumed
+// every group.
+type CoopStream interface {
+	Next(ctx context.Context) (g int, payload []byte, ok bool, err error)
+	// Close detaches from the shared buffer manager; idempotent.
+	Close()
+}
+
+// CoopMorselSource is a MorselSource whose groups may arrive through a
+// cooperative stream. A nil Coop means "scan alone this time" and the
+// normal morsel queue applies.
+type CoopMorselSource interface {
+	MorselSource
+	Coop() CoopStream
+}
+
+// PayloadSeeker is a MorselScanner that can reposition onto a group whose
+// bytes were already delivered (colstore.Scanner.SeekGroupData).
+type PayloadSeeker interface {
+	SeekGroupData(g int, payload []byte) error
 }
 
 // SerialMorselSource wraps a plain batch source as a MorselSource with no
@@ -141,9 +168,11 @@ type morselState struct {
 	err   error
 	src   MorselSource
 	queue *MorselQueue
+	coop  CoopStream
 
 	serial        pdt.BatchSource
 	serialClaimed atomic.Bool
+	coopClose     sync.Once
 }
 
 func (st *morselState) init(workers int, mk func() (MorselSource, error)) {
@@ -155,11 +184,25 @@ func (st *morselState) init(workers int, mk func() (MorselSource, error)) {
 		}
 		st.src = src
 		if n := src.NumMorsels(); n > 0 {
+			if cs, ok := src.(CoopMorselSource); ok {
+				if c := cs.Coop(); c != nil {
+					st.coop = c
+					return
+				}
+			}
 			st.queue = NewMorselQueue(n, workers)
 			return
 		}
 		st.serial, st.err = src.Serial()
 	})
+}
+
+// closeCoop detaches the shared cooperative stream exactly once, however
+// many workers call Close (including after failed Opens).
+func (st *morselState) closeCoop() {
+	if st.coop != nil {
+		st.coopClose.Do(st.coop.Close)
+	}
 }
 
 // MorselScan is one worker of a morsel-driven parallel scan. All workers
@@ -267,6 +310,28 @@ func (m *MorselScan) Next() (*vec.Batch, error) {
 			}
 			m.inGroup = false
 		}
+		if m.st.coop != nil {
+			// Cooperative path: the shared stream decides which group this
+			// worker gets next, and hands over its bytes with it.
+			g, payload, ok, err := m.st.coop.Next(m.ctx.Ctx)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				return nil, nil
+			}
+			m.morsels++
+			m.mCount.Inc()
+			if ps, can := m.scanner.(PayloadSeeker); can {
+				if err := ps.SeekGroupData(g, payload); err != nil {
+					return nil, err
+				}
+			} else {
+				m.scanner.SeekGroup(g)
+			}
+			m.inGroup = true
+			continue
+		}
 		g, stolen, ok := m.st.queue.Next(m.Worker)
 		if !ok {
 			return nil, nil
@@ -282,7 +347,11 @@ func (m *MorselScan) Next() (*vec.Batch, error) {
 }
 
 // Close implements Operator.
-func (m *MorselScan) Close() {}
+func (m *MorselScan) Close() {
+	if m.st != nil {
+		m.st.closeCoop()
+	}
+}
 
 // MorselStats implements the profiling shell's morselReporter.
 func (m *MorselScan) MorselStats() (morsels, steals int64) { return m.morsels, m.stolen }

@@ -1,0 +1,104 @@
+package exec
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// fakeCoopStream deals groups from a fixed (arbitrary) order, shared by all
+// workers; each group goes out exactly once.
+type fakeCoopStream struct {
+	mu     sync.Mutex
+	order  []int
+	at     int
+	closed atomic.Int32
+}
+
+func (s *fakeCoopStream) Next(ctx context.Context) (int, []byte, bool, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, nil, false, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.at >= len(s.order) {
+		return 0, nil, false, nil
+	}
+	g := s.order[s.at]
+	s.at++
+	return g, nil, true, nil
+}
+
+func (s *fakeCoopStream) Close() { s.closed.Add(1) }
+
+// fakeCoopSource is a fakeMorselSource whose groups arrive cooperatively.
+type fakeCoopSource struct {
+	fakeMorselSource
+	stream *fakeCoopStream
+}
+
+func (s *fakeCoopSource) Coop() CoopStream {
+	if s.stream == nil {
+		return nil // typed-nil would read as a non-nil interface
+	}
+	return s.stream
+}
+
+// Workers fed by a cooperative stream must between them consume every group
+// exactly once — in the stream's order, not the queue's — and detach the
+// stream exactly once at Close however many workers share it.
+func TestMorselScanCooperativeStream(t *testing.T) {
+	sizes := []int{5, 1, 64, 2, 9, 3, 3, 17, 1, 40, 8, 6}
+	want := 0
+	for _, s := range sizes {
+		want += s
+	}
+	// Reverse delivery order: cooperative order is whatever the ABM picks.
+	order := make([]int, len(sizes))
+	for i := range order {
+		order[i] = len(sizes) - 1 - i
+	}
+	stream := &fakeCoopStream{order: order}
+	src := &fakeCoopSource{fakeMorselSource{sizes: sizes}, stream}
+	const workers = 4
+	scans := morselWorkers(workers, func(int) (MorselSource, error) { return src, nil })
+	ops := make([]Operator, workers)
+	for i, s := range scans {
+		ops[i] = s
+	}
+	rows := collect(t, NewXchgUnion(ops...))
+	if len(rows) != want {
+		t.Fatalf("cooperative scan yielded %d rows, want %d", len(rows), want)
+	}
+	seen := map[int64]bool{}
+	for _, r := range rows {
+		if seen[r[0].Int64()] {
+			t.Fatalf("row %d delivered twice", r[0].Int64())
+		}
+		seen[r[0].Int64()] = true
+	}
+	var morsels int64
+	for _, s := range scans {
+		m, _ := s.MorselStats()
+		morsels += m
+	}
+	if morsels != int64(len(sizes)) {
+		t.Fatalf("workers claimed %d morsels total, want %d", morsels, len(sizes))
+	}
+	if c := stream.closed.Load(); c != 1 {
+		t.Fatalf("stream closed %d times, want exactly 1", c)
+	}
+}
+
+// A source whose Coop() returns nil (alone this time) must fall back to the
+// normal morsel queue.
+func TestMorselScanCoopNilFallsBackToQueue(t *testing.T) {
+	sizes := []int{4, 4, 4, 4}
+	src := &fakeCoopSource{fakeMorselSource{sizes: sizes}, nil}
+	scans := morselWorkers(2, func(int) (MorselSource, error) { return src, nil })
+	rows := collect(t, NewXchgUnion(scans[0], scans[1]))
+	if len(rows) != 16 {
+		t.Fatalf("rows = %d, want 16", len(rows))
+	}
+}

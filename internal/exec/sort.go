@@ -153,6 +153,9 @@ func (s *Sort) consume() error {
 		if b == nil {
 			return nil
 		}
+		if err := s.ctx.charge(b); err != nil {
+			return err
+		}
 		base := int32(0)
 		if len(s.store) > 0 {
 			base = int32(s.store[0].Len())

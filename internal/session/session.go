@@ -1,0 +1,358 @@
+// Package session is the service layer between clients (the vwserver
+// front-end, the vwsql shell, embedders) and the engine core: Sessions own
+// per-client identity and statement accounting, and a SessionPool performs
+// admission control — a bounded number of concurrently running queries, a
+// bounded FIFO wait queue, and memory-budget reservation — so heavy
+// concurrent traffic degrades by queueing instead of by thrashing.
+package session
+
+import (
+	"context"
+	"errors"
+	"sort"
+	"sync"
+	"time"
+
+	"vectorwise/internal/engine"
+	"vectorwise/internal/metrics"
+)
+
+// Admission instruments. session_active counts open sessions;
+// session_queries_running counts statements currently holding a slot.
+var (
+	mSessionsActive = metrics.Default.Gauge("session_active")
+	mRunning        = metrics.Default.Gauge("session_queries_running")
+	mQueued         = metrics.Default.Counter("session_queries_queued_total")
+	mRejected       = metrics.Default.Counter("session_queries_rejected_total")
+	mAdmitted       = metrics.Default.Counter("session_queries_admitted_total")
+)
+
+// Admission errors.
+var (
+	ErrQueueFull  = errors.New("session: admission queue full")
+	ErrPoolClosed = errors.New("session: pool closed")
+)
+
+// Config tunes the pool's admission control.
+type Config struct {
+	// MaxConcurrent is the number of queries allowed to run at once
+	// (default 4).
+	MaxConcurrent int
+	// MaxQueue bounds the FIFO wait queue; arrivals beyond it are rejected
+	// with ErrQueueFull (default 16, -1 disables queueing entirely).
+	MaxQueue int
+	// MemBudget is the total bytes reservable by admitted queries; with
+	// QueryBudget it gates admission (0 = unlimited).
+	MemBudget int64
+	// QueryBudget is each query's materialization cap in bytes, reserved
+	// from MemBudget at admission and threaded to the executor (0 = none).
+	QueryBudget int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = 4
+	}
+	switch {
+	case c.MaxQueue == 0:
+		c.MaxQueue = 16
+	case c.MaxQueue < 0:
+		c.MaxQueue = 0
+	}
+	return c
+}
+
+// waiter is one queued admission request.
+type waiter struct {
+	ch      chan struct{}
+	granted bool // slot handed over before the waiter gave up
+	err     error
+}
+
+// Pool is the admission controller over one engine.DB. Slots free up in
+// completion order but are granted in arrival order (direct hand-off to the
+// queue head), so admission is FIFO.
+type Pool struct {
+	db  *engine.DB
+	cfg Config
+
+	mu       sync.Mutex
+	running  int
+	reserved int64
+	waiters  []*waiter
+	sessions map[int64]*Session
+	nextID   int64
+	closed   bool
+}
+
+// NewPool builds a pool and registers it as the DB's session source, so
+// sys.sessions reflects it.
+func NewPool(db *engine.DB, cfg Config) *Pool {
+	p := &Pool{db: db, cfg: cfg.withDefaults(), sessions: map[int64]*Session{}}
+	db.SessionSource = p.Infos
+	return p
+}
+
+// DB returns the underlying engine.
+func (p *Pool) DB() *engine.DB { return p.db }
+
+// Open starts a new session.
+func (p *Pool) Open() (*Session, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return nil, ErrPoolClosed
+	}
+	p.nextID++
+	s := &Session{pool: p, id: p.nextID, created: time.Now()}
+	p.sessions[s.id] = s
+	mSessionsActive.Add(1)
+	return s, nil
+}
+
+// Close rejects all future work and fails queued waiters. Running queries
+// finish on their own.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return
+	}
+	p.closed = true
+	for _, w := range p.waiters {
+		w.err = ErrPoolClosed
+		close(w.ch)
+	}
+	p.waiters = nil
+}
+
+// budgetFitsLocked reports whether one more query's reservation fits.
+func (p *Pool) budgetFitsLocked() bool {
+	if p.cfg.MemBudget <= 0 || p.cfg.QueryBudget <= 0 {
+		return true
+	}
+	return p.reserved+p.cfg.QueryBudget <= p.cfg.MemBudget
+}
+
+// grantLocked hands freed capacity to queue heads, preserving FIFO order.
+func (p *Pool) grantLocked() {
+	for len(p.waiters) > 0 && p.running < p.cfg.MaxConcurrent && p.budgetFitsLocked() {
+		w := p.waiters[0]
+		p.waiters = p.waiters[1:]
+		p.running++
+		p.reserved += p.cfg.QueryBudget
+		mRunning.Add(1)
+		w.granted = true
+		close(w.ch)
+	}
+}
+
+// releaseLocked returns one slot and wakes the queue.
+func (p *Pool) releaseLocked() {
+	p.running--
+	p.reserved -= p.cfg.QueryBudget
+	mRunning.Add(-1)
+	p.grantLocked()
+}
+
+// releaseFunc wraps releaseLocked for callers outside the lock; idempotent
+// so error paths can defer it unconditionally.
+func (p *Pool) releaseFunc() func() {
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			p.mu.Lock()
+			p.releaseLocked()
+			p.mu.Unlock()
+		})
+	}
+}
+
+// admit blocks until the query may run (or ctx dies, or the queue is full),
+// returning the release that must be called when it finishes.
+func (p *Pool) admit(ctx context.Context) (func(), error) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, ErrPoolClosed
+	}
+	// Fast path: capacity free and nobody queued ahead of us.
+	if p.running < p.cfg.MaxConcurrent && len(p.waiters) == 0 && p.budgetFitsLocked() {
+		p.running++
+		p.reserved += p.cfg.QueryBudget
+		mRunning.Add(1)
+		p.mu.Unlock()
+		mAdmitted.Inc()
+		return p.releaseFunc(), nil
+	}
+	if len(p.waiters) >= p.cfg.MaxQueue {
+		p.mu.Unlock()
+		mRejected.Inc()
+		return nil, ErrQueueFull
+	}
+	w := &waiter{ch: make(chan struct{})}
+	p.waiters = append(p.waiters, w)
+	p.mu.Unlock()
+	mQueued.Inc()
+	select {
+	case <-w.ch:
+		if w.err != nil {
+			return nil, w.err
+		}
+		mAdmitted.Inc()
+		return p.releaseFunc(), nil
+	case <-ctx.Done():
+		p.mu.Lock()
+		if w.granted {
+			// The grant raced our cancellation: give the slot straight back.
+			p.releaseLocked()
+			p.mu.Unlock()
+			return nil, ctx.Err()
+		}
+		for i, x := range p.waiters {
+			if x == w {
+				p.waiters = append(p.waiters[:i], p.waiters[i+1:]...)
+				break
+			}
+		}
+		p.mu.Unlock()
+		return nil, ctx.Err()
+	}
+}
+
+// Stats is a snapshot of the pool's admission state.
+type Stats struct {
+	Running  int
+	Queued   int
+	Reserved int64
+	Sessions int
+}
+
+// Stats snapshots the pool.
+func (p *Pool) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return Stats{Running: p.running, Queued: len(p.waiters),
+		Reserved: p.reserved, Sessions: len(p.sessions)}
+}
+
+// Infos reports every open session for sys.sessions, ordered by id.
+func (p *Pool) Infos() []engine.SessionInfo {
+	p.mu.Lock()
+	sessions := make([]*Session, 0, len(p.sessions))
+	for _, s := range p.sessions {
+		sessions = append(sessions, s)
+	}
+	p.mu.Unlock()
+	sort.Slice(sessions, func(i, j int) bool { return sessions[i].id < sessions[j].id })
+	out := make([]engine.SessionInfo, len(sessions))
+	for i, s := range sessions {
+		out[i] = s.info()
+	}
+	return out
+}
+
+// Session is one client's handle on the engine: statement accounting plus a
+// ticket through the pool's admission control for every query it runs.
+type Session struct {
+	pool    *Pool
+	id      int64
+	created time.Time
+
+	mu      sync.Mutex
+	queries int64
+	active  int64
+	waiting int64
+	closed  bool
+}
+
+// ID returns the session's id (as shown in sys.sessions).
+func (s *Session) ID() int64 { return s.id }
+
+// Exec runs one statement through admission control, with the configured
+// per-query memory budget attached.
+func (s *Session) Exec(ctx context.Context, query string) (*engine.Result, error) {
+	return s.run(ctx, func(ctx context.Context) (*engine.Result, error) {
+		return s.pool.db.Exec(ctx, query)
+	})
+}
+
+// ExecScript runs a ';'-separated script under a single admission ticket
+// (a client's request is one unit of admitted work), returning the last
+// statement's result.
+func (s *Session) ExecScript(ctx context.Context, script string) (*engine.Result, error) {
+	return s.run(ctx, func(ctx context.Context) (*engine.Result, error) {
+		return s.pool.db.ExecScript(ctx, script)
+	})
+}
+
+// run wraps fn with admission, statement accounting, and the per-query
+// memory budget.
+func (s *Session) run(ctx context.Context, fn func(context.Context) (*engine.Result, error)) (*engine.Result, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrPoolClosed
+	}
+	s.waiting++
+	s.mu.Unlock()
+	release, err := s.pool.admit(ctx)
+	s.mu.Lock()
+	s.waiting--
+	if err == nil {
+		s.queries++
+		s.active++
+	}
+	s.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		s.mu.Lock()
+		s.active--
+		s.mu.Unlock()
+		release()
+	}()
+	if b := s.pool.cfg.QueryBudget; b > 0 {
+		ctx = engine.WithQueryBudget(ctx, b)
+	}
+	return fn(ctx)
+}
+
+// Close ends the session (running statements finish; new Execs fail).
+func (s *Session) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	p := s.pool
+	p.mu.Lock()
+	if _, ok := p.sessions[s.id]; ok {
+		delete(p.sessions, s.id)
+		mSessionsActive.Add(-1)
+	}
+	p.mu.Unlock()
+}
+
+func (s *Session) info() engine.SessionInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	state := "idle"
+	switch {
+	case s.active > 0:
+		state = "active"
+	case s.waiting > 0:
+		state = "queued"
+	}
+	return engine.SessionInfo{
+		ID:       s.id,
+		State:    state,
+		Queries:  s.queries,
+		Active:   s.active,
+		Reserved: s.active * s.pool.cfg.QueryBudget,
+		AgeMS:    float64(time.Since(s.created).Nanoseconds()) / 1e6,
+	}
+}

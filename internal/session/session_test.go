@@ -1,0 +1,379 @@
+package session
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"vectorwise/internal/engine"
+	"vectorwise/internal/exec"
+	"vectorwise/internal/types"
+)
+
+// poolDB builds an engine with a small multi-group table for end-to-end
+// session tests.
+func poolDB(t *testing.T, rows int) *engine.DB {
+	t.Helper()
+	db := engine.Open()
+	db.BufferGroups = 4
+	if _, err := db.Exec(context.Background(), `CREATE TABLE t (k BIGINT, v DOUBLE)`); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.LoadBatchFunc("t", func(emit func([]types.Value) error) error {
+		for i := 0; i < rows; i++ {
+			if err := emit([]types.Value{
+				types.NewInt64(int64(i)),
+				types.NewFloat64(float64(i) * 0.25),
+			}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// waitFor polls until cond holds or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// Admission is strictly FIFO: with one slot held, waiters are granted in
+// arrival order regardless of scheduling.
+func TestAdmissionFIFOOrder(t *testing.T) {
+	p := NewPool(engine.Open(), Config{MaxConcurrent: 1, MaxQueue: 32})
+	release, err := p.admit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const waiters = 8
+	var mu sync.Mutex
+	var order []int
+	var wg sync.WaitGroup
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rel, err := p.admit(context.Background())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+			rel()
+		}(i)
+		// Ensure waiter i is enqueued before i+1 arrives, fixing the
+		// expected grant order.
+		waitFor(t, "waiter enqueued", func() bool { return p.Stats().Queued == i+1 })
+	}
+	release()
+	wg.Wait()
+
+	want := make([]int, waiters)
+	for i := range want {
+		want[i] = i
+	}
+	if !reflect.DeepEqual(order, want) {
+		t.Fatalf("grant order %v, want %v", order, want)
+	}
+	if st := p.Stats(); st.Running != 0 || st.Queued != 0 || st.Reserved != 0 {
+		t.Fatalf("pool not drained: %+v", st)
+	}
+}
+
+// The running count never exceeds MaxConcurrent even under a thundering
+// herd, and every admit eventually succeeds.
+func TestAdmissionBoundsConcurrency(t *testing.T) {
+	const maxC, herd = 3, 24
+	p := NewPool(engine.Open(), Config{MaxConcurrent: maxC, MaxQueue: herd})
+	var cur, peak atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < herd; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rel, err := p.admit(context.Background())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			n := cur.Add(1)
+			for {
+				old := peak.Load()
+				if n <= old || peak.CompareAndSwap(old, n) {
+					break
+				}
+			}
+			time.Sleep(time.Millisecond)
+			cur.Add(-1)
+			rel()
+		}()
+	}
+	wg.Wait()
+	if got := peak.Load(); got > maxC {
+		t.Fatalf("observed %d concurrent queries, cap is %d", got, maxC)
+	}
+}
+
+// The memory budget gates admission below MaxConcurrent when reservations
+// don't fit, and frees as queries finish.
+func TestAdmissionBudgetReservation(t *testing.T) {
+	p := NewPool(engine.Open(), Config{
+		MaxConcurrent: 8, MaxQueue: 8, MemBudget: 100, QueryBudget: 40,
+	})
+	r1, err := p.admit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := p.admit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := p.Stats(); st.Reserved != 80 {
+		t.Fatalf("reserved = %d, want 80", st.Reserved)
+	}
+	// A third does not fit (120 > 100): it must queue, not run.
+	admitted := make(chan func(), 1)
+	go func() {
+		rel, err := p.admit(context.Background())
+		if err != nil {
+			t.Error(err)
+		}
+		admitted <- rel
+	}()
+	waitFor(t, "third query queued", func() bool { return p.Stats().Queued == 1 })
+	select {
+	case <-admitted:
+		t.Fatal("third query admitted past the memory budget")
+	case <-time.After(20 * time.Millisecond):
+	}
+	r1()
+	rel := <-admitted
+	rel()
+	r2()
+	if st := p.Stats(); st.Reserved != 0 || st.Running != 0 {
+		t.Fatalf("budget not returned: %+v", st)
+	}
+}
+
+// Queue overflow rejects instead of blocking.
+func TestAdmissionQueueFull(t *testing.T) {
+	p := NewPool(engine.Open(), Config{MaxConcurrent: 1, MaxQueue: 1})
+	rel, err := p.admit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		r, err := p.admit(context.Background())
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		r()
+	}()
+	waitFor(t, "queue to fill", func() bool { return p.Stats().Queued == 1 })
+	if _, err := p.admit(context.Background()); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("err = %v, want ErrQueueFull", err)
+	}
+	rel()
+	<-done
+}
+
+// A waiter whose context dies leaves the queue cleanly; if the grant raced
+// the cancellation, the slot is handed straight back.
+func TestAdmissionCancelWhileQueued(t *testing.T) {
+	p := NewPool(engine.Open(), Config{MaxConcurrent: 1, MaxQueue: 8})
+	rel, err := p.admit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := p.admit(ctx)
+		errc <- err
+	}()
+	waitFor(t, "waiter queued", func() bool { return p.Stats().Queued == 1 })
+	cancel()
+	if err := <-errc; !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	waitFor(t, "queue drained", func() bool { return p.Stats().Queued == 0 })
+	rel()
+	// The slot must still be grantable after the cancelled waiter left.
+	r2, err := p.admit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2()
+	if st := p.Stats(); st.Running != 0 || st.Reserved != 0 {
+		t.Fatalf("pool leaked state: %+v", st)
+	}
+}
+
+// Closing the pool fails queued waiters and future admits with
+// ErrPoolClosed.
+func TestPoolCloseFailsWaiters(t *testing.T) {
+	p := NewPool(engine.Open(), Config{MaxConcurrent: 1, MaxQueue: 8})
+	rel, err := p.admit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	errc := make(chan error, 1)
+	go func() {
+		_, err := p.admit(context.Background())
+		errc <- err
+	}()
+	waitFor(t, "waiter queued", func() bool { return p.Stats().Queued == 1 })
+	p.Close()
+	if err := <-errc; !errors.Is(err, ErrPoolClosed) {
+		t.Fatalf("waiter err = %v, want ErrPoolClosed", err)
+	}
+	if _, err := p.admit(context.Background()); !errors.Is(err, ErrPoolClosed) {
+		t.Fatalf("admit after close = %v, want ErrPoolClosed", err)
+	}
+	rel()
+	if _, err := p.Open(); !errors.Is(err, ErrPoolClosed) {
+		t.Fatalf("Open after close = %v, want ErrPoolClosed", err)
+	}
+}
+
+// N+K end-to-end: a pool of 2 serves 8 concurrent aggregation queries —
+// every result matches the serial answer, the slot and the budget are fully
+// returned, and no goroutines are left behind.
+func TestSessionsConcurrentQueriesDrainClean(t *testing.T) {
+	const clients = 8
+	db := poolDB(t, 60000)
+	ctx := context.Background()
+	serial, err := db.Exec(ctx, `SELECT COUNT(*), SUM(k) FROM t`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewPool(db, Config{
+		MaxConcurrent: 2, MaxQueue: clients,
+		MemBudget: 64 << 20, QueryBudget: 8 << 20,
+	})
+	base := runtime.NumGoroutine()
+
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s, err := p.Open()
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer s.Close()
+			res, err := s.Exec(ctx, `SELECT COUNT(*), SUM(k) FROM t WITH (PARALLEL=2)`)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if !reflect.DeepEqual(res.Rows, serial.Rows) {
+				t.Errorf("rows %v != serial %v", res.Rows, serial.Rows)
+			}
+		}()
+	}
+	wg.Wait()
+	if st := p.Stats(); st.Running != 0 || st.Queued != 0 || st.Reserved != 0 || st.Sessions != 0 {
+		t.Fatalf("pool not drained: %+v", st)
+	}
+	waitFor(t, "goroutines to drain", func() bool {
+		runtime.GC()
+		return runtime.NumGoroutine() <= base+2
+	})
+}
+
+// A failing query (SQL error or budget blow-up) must release its slot and
+// reservation so the pool keeps serving.
+func TestFailedQueryReleasesBudget(t *testing.T) {
+	db := poolDB(t, 50000)
+	p := NewPool(db, Config{
+		MaxConcurrent: 1, MaxQueue: 4,
+		MemBudget: 4096, QueryBudget: 2048,
+	})
+	s, err := p.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ctx := context.Background()
+	if _, err := s.Exec(ctx, `SELECT nope FROM missing`); err == nil {
+		t.Fatal("bad SQL succeeded")
+	}
+	if st := p.Stats(); st.Running != 0 || st.Reserved != 0 {
+		t.Fatalf("SQL error leaked admission state: %+v", st)
+	}
+	// The per-query budget reaches the executor: a full-table sort cannot fit
+	// in 2 KiB.
+	if _, err := s.Exec(ctx, `SELECT k FROM t ORDER BY v DESC`); !errors.Is(err, exec.ErrBudget) {
+		t.Fatalf("err = %v, want ErrBudget", err)
+	}
+	if st := p.Stats(); st.Running != 0 || st.Reserved != 0 {
+		t.Fatalf("budget error leaked admission state: %+v", st)
+	}
+	// And the pool still serves cheap queries afterwards.
+	res, err := s.Exec(ctx, `SELECT COUNT(*) FROM t`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].Int64() != 50000 {
+		t.Fatalf("count = %v", res.Rows[0][0])
+	}
+}
+
+// The pool feeds sys.sessions: session state is visible from SQL run
+// through a session of the same pool.
+func TestPoolBacksSysSessions(t *testing.T) {
+	db := poolDB(t, 1000)
+	p := NewPool(db, Config{MaxConcurrent: 4})
+	s1, err := p.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s1.Close()
+	s2, err := p.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s1.Exec(context.Background(),
+		`SELECT id, state FROM sys.sessions ORDER BY id`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("sessions = %d, want 2", len(res.Rows))
+	}
+	// The querying session is active (it is running this very statement).
+	if got := res.Rows[0][1].String(); got != "active" {
+		t.Fatalf("session 1 state = %q, want active", got)
+	}
+	if got := res.Rows[1][1].String(); got != "idle" {
+		t.Fatalf("session 2 state = %q, want idle", got)
+	}
+	s2.Close()
+	if st := p.Stats(); st.Sessions != 1 {
+		t.Fatalf("sessions after close = %d", st.Sessions)
+	}
+}

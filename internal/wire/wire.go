@@ -1,0 +1,85 @@
+// Package wire implements the vwserver line protocol shared by the server
+// and the vwsql client mode.
+//
+// Requests are plain SQL text: the client streams lines and the server
+// executes once it has seen a line containing ';' (so multi-line statements
+// work exactly like the interactive shell). A lone `\q` closes the
+// connection. Every executed request yields exactly one response:
+//
+//	!ok                         (or: !err <message>)
+//	<payload line>              (a leading '.' is escaped by doubling)
+//	...
+//	.                           (lone dot terminates the response)
+//
+// The framing is text-only on purpose — a session is debuggable with nc(1).
+package wire
+
+import (
+	"bufio"
+	"fmt"
+	"strings"
+)
+
+// WriteResponse frames one response onto w and flushes it. A non-empty
+// errMsg makes it an error response; newlines in errMsg are flattened so
+// the status stays a single line.
+func WriteResponse(w *bufio.Writer, errMsg, body string) error {
+	if errMsg != "" {
+		fmt.Fprintf(w, "!err %s\n", strings.ReplaceAll(errMsg, "\n", "; "))
+	} else {
+		fmt.Fprintln(w, "!ok")
+	}
+	if body != "" {
+		for _, line := range strings.Split(strings.TrimSuffix(body, "\n"), "\n") {
+			if strings.HasPrefix(line, ".") {
+				w.WriteByte('.')
+			}
+			w.WriteString(line)
+			w.WriteByte('\n')
+		}
+	}
+	w.WriteString(".\n")
+	return w.Flush()
+}
+
+// ReadResponse reads one framed response from r. serverErr carries the
+// server-reported failure (empty on success); err is a transport-level
+// error (closed connection, malformed frame).
+func ReadResponse(r *bufio.Reader) (body, serverErr string, err error) {
+	status, err := readLine(r)
+	if err != nil {
+		return "", "", err
+	}
+	switch {
+	case status == "!ok":
+	case strings.HasPrefix(status, "!err "):
+		serverErr = strings.TrimPrefix(status, "!err ")
+	case status == "!err":
+		serverErr = "unknown server error"
+	default:
+		return "", "", fmt.Errorf("wire: bad status line %q", status)
+	}
+	var b strings.Builder
+	for {
+		line, err := readLine(r)
+		if err != nil {
+			return "", "", err
+		}
+		if line == "." {
+			return b.String(), serverErr, nil
+		}
+		if strings.HasPrefix(line, ".") {
+			line = line[1:]
+		}
+		b.WriteString(line)
+		b.WriteByte('\n')
+	}
+}
+
+func readLine(r *bufio.Reader) (string, error) {
+	line, err := r.ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	return strings.TrimRight(line, "\r\n"), nil
+}

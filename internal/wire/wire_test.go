@@ -1,0 +1,84 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func roundTrip(t *testing.T, errMsg, body string) (string, string) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteResponse(bufio.NewWriter(&buf), errMsg, body); err != nil {
+		t.Fatal(err)
+	}
+	gotBody, gotErr, err := ReadResponse(bufio.NewReader(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return gotBody, gotErr
+}
+
+func TestRoundTripOK(t *testing.T) {
+	body := "k | v\n1 | 2.5\n(1 row)\n"
+	got, serverErr := roundTrip(t, "", body)
+	if serverErr != "" {
+		t.Fatalf("unexpected server error %q", serverErr)
+	}
+	if got != body {
+		t.Fatalf("body = %q, want %q", got, body)
+	}
+}
+
+func TestRoundTripDotLines(t *testing.T) {
+	body := ".\n..leading dots\nplain\n"
+	got, serverErr := roundTrip(t, "", body)
+	if serverErr != "" || got != body {
+		t.Fatalf("got %q / %q", got, serverErr)
+	}
+}
+
+func TestRoundTripError(t *testing.T) {
+	got, serverErr := roundTrip(t, "sql: no table \"t\"\nsecond line", "")
+	if got != "" {
+		t.Fatalf("error responses carry no body, got %q", got)
+	}
+	if serverErr != `sql: no table "t"; second line` {
+		t.Fatalf("serverErr = %q", serverErr)
+	}
+}
+
+func TestMultipleResponsesOneStream(t *testing.T) {
+	var buf bytes.Buffer
+	w := bufio.NewWriter(&buf)
+	if err := WriteResponse(w, "", "first\n"); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteResponse(w, "boom", ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteResponse(w, "", ""); err != nil {
+		t.Fatal(err)
+	}
+	r := bufio.NewReader(&buf)
+	b1, e1, err := ReadResponse(r)
+	if err != nil || b1 != "first\n" || e1 != "" {
+		t.Fatalf("resp1 = %q/%q/%v", b1, e1, err)
+	}
+	b2, e2, err := ReadResponse(r)
+	if err != nil || b2 != "" || e2 != "boom" {
+		t.Fatalf("resp2 = %q/%q/%v", b2, e2, err)
+	}
+	b3, e3, err := ReadResponse(r)
+	if err != nil || b3 != "" || e3 != "" {
+		t.Fatalf("resp3 = %q/%q/%v", b3, e3, err)
+	}
+}
+
+func TestBadStatusLine(t *testing.T) {
+	r := bufio.NewReader(strings.NewReader("hello\n.\n"))
+	if _, _, err := ReadResponse(r); err == nil {
+		t.Fatal("malformed status accepted")
+	}
+}
