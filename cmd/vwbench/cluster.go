@@ -1,0 +1,179 @@
+package main
+
+import (
+	"context"
+	"encoding/csv"
+	"fmt"
+	"log"
+	"os"
+	"reflect"
+	"strconv"
+
+	"vectorwise/internal/colstore"
+	"vectorwise/internal/datagen"
+	"vectorwise/internal/engine"
+	"vectorwise/internal/types"
+)
+
+// The clustered-load matrix: the same lineitem CSV is bulk-loaded twice,
+// once through COPY ... ORDER BY l_shipdate (clustered layout, ordered zone
+// maps) and once through plain COPY (generation order, interleaved dates).
+// cload times the load itself — the price of the external sort-merge —
+// and cprune times a narrow date-range scan on each layout, recording the
+// fraction of row groups the scan actually decoded. The clustered layout
+// must answer byte-identically to the unclustered one while touching at
+// most cpruneMaxTouched of the groups; either failure aborts the suite.
+const (
+	cloadName        = "cload"
+	cpruneName       = "cprune"
+	cluLayout        = "clu"
+	uncLayout        = "unc"
+	cpruneMaxTouched = 0.2
+)
+
+// lineitemDateSpan is datagen's l_shipdate spread: uniform over this many
+// days from 1992-01-01 (~7 years, the TPC-H range).
+const lineitemDateSpan = 2557
+
+// runClusterCells runs the cload/cprune cells at one scale and appends them
+// to rep. Needs at least 4 full row groups (scale >= 4*BlockRows + 1) for a
+// mid-table range to stay under the touched-groups bound.
+func runClusterCells(rep *suiteReport, scale int) {
+	csvPath, written := writeLineitemCSV(scale)
+	defer os.Remove(csvPath)
+	ctx := context.Background()
+
+	dbs := map[string]*engine.DB{}
+	for _, layout := range []string{cluLayout, uncLayout} {
+		copyStmt := fmt.Sprintf("COPY lineitem FROM '%s'", csvPath)
+		if layout == cluLayout {
+			copyStmt += " ORDER BY l_shipdate"
+		}
+		var db *engine.DB
+		var loaded int64
+		before := counterSnapshot()
+		d := best(func() {
+			db = engine.Open()
+			mustRun(db, ctx, datagen.LineitemDDL)
+			loaded = mustRun(db, ctx, copyStmt).Affected
+		})
+		if loaded != written {
+			log.Fatalf("cload+%s: loaded %d rows, CSV holds %d", layout, loaded, written)
+		}
+		dbs[layout] = db
+		cell := suiteCell{
+			Name:       cloadName,
+			Rows:       scale,
+			Layout:     layout,
+			Seconds:    d.Seconds(),
+			ResultRows: loaded,
+			Metrics:    metricDeltas(before, counterSnapshot()),
+		}
+		rep.Results = append(rep.Results, cell)
+		fmt.Printf("%-18s rows=%-9d %12v  (%d rows loaded)\n", cell.key(), scale, d, loaded)
+	}
+	if _, _, _, ok := dbs[cluLayout].ClusteredWindow("lineitem", "l_shipdate", nil, nil); !ok {
+		log.Fatal("cload: clustered COPY left no ordered zone maps on l_shipdate")
+	}
+
+	loDate, hiDate := cpruneRange(scale)
+	q := fmt.Sprintf(`SELECT COUNT(*), SUM(l_orderkey), SUM(l_quantity),
+		MIN(l_shipdate), MAX(l_shipdate) FROM lineitem
+		WHERE l_shipdate BETWEEN DATE '%s' AND DATE '%s'`, loDate, hiDate)
+	answers := map[string]*engine.Result{}
+	for _, layout := range []string{cluLayout, uncLayout} {
+		db := dbs[layout]
+		mustRun(db, ctx, q) // warm
+		before := counterSnapshot()
+		var res *engine.Result
+		d := best(func() { res = mustRun(db, ctx, q) })
+		m := metricDeltas(before, counterSnapshot())
+		answers[layout] = res
+		// Group counters accumulate across reps; the ratio is per-query.
+		scanned, skipped := m["colstore_groups_scanned_total"], m["colstore_groups_skipped_total"]
+		ratio := 0.0
+		if scanned+skipped > 0 {
+			ratio = scanned / (scanned + skipped)
+		}
+		if layout == cluLayout && ratio > cpruneMaxTouched {
+			log.Fatalf("cprune: clustered range scan touched %.0f%% of row groups, want <= %.0f%%",
+				ratio*100, cpruneMaxTouched*100)
+		}
+		cell := suiteCell{
+			Name:          cpruneName,
+			Rows:          scale,
+			Layout:        layout,
+			Seconds:       d.Seconds(),
+			ResultRows:    int64(len(res.Rows)),
+			GroupsTouched: ratio,
+			Metrics:       m,
+		}
+		rep.Results = append(rep.Results, cell)
+		fmt.Printf("%-18s rows=%-9d %12v  groups touched=%.0f%%\n", cell.key(), scale, d, ratio*100)
+	}
+	if !reflect.DeepEqual(answers[cluLayout].Rows, answers[uncLayout].Rows) {
+		log.Fatalf("cprune: clustered layout diverges from unclustered:\n%v\nwant %v",
+			answers[cluLayout].Rows, answers[uncLayout].Rows)
+	}
+}
+
+// cpruneRange picks a date interval sitting strictly inside one full row
+// group of the clustered layout: the middle group, from a quarter to
+// three-quarters of the way through it. Dates are uniform over
+// lineitemDateSpan days, so the date whose rank is r sits near day
+// r/scale·span; the quarter-group margin (4K rows) dwarfs both the sampling
+// noise and the duplicate-date runs at either end.
+func cpruneRange(scale int) (string, string) {
+	g := scale / colstore.BlockRows / 2 // a full group even when the last is partial
+	rowLo := g*colstore.BlockRows + colstore.BlockRows/4
+	rowHi := g*colstore.BlockRows + 3*colstore.BlockRows/4
+	start := types.DateFromYMD(1992, 1, 1)
+	lo := start + int32(float64(rowLo)/float64(scale)*lineitemDateSpan)
+	hi := start + int32(float64(rowHi)/float64(scale)*lineitemDateSpan)
+	return types.FormatDate(lo), types.FormatDate(hi)
+}
+
+// writeLineitemCSV streams the suite's lineitem rows (same sf/seed as
+// loadSuiteTables) into a temp CSV in COPY's format: no header, empty field
+// = NULL, dates as YYYY-MM-DD. Returns the path and the row count.
+func writeLineitemCSV(scale int) (string, int64) {
+	f, err := os.CreateTemp("", "vwbench-lineitem-*.csv")
+	check(err)
+	w := csv.NewWriter(f)
+	sf := float64(scale) / datagen.RowsPerSF
+	var written int64
+	rec := make([]string, datagen.LineitemSchema().Len())
+	check(datagen.Lineitems(sf, 42, func(row []types.Value) error {
+		for i, v := range row {
+			rec[i] = csvField(v)
+		}
+		written++
+		return w.Write(rec)
+	}))
+	w.Flush()
+	check(w.Error())
+	check(f.Close())
+	return f.Name(), written
+}
+
+// csvField renders one value so COPY's types.ParseValue round-trips it.
+func csvField(v types.Value) string {
+	if v.Null {
+		return ""
+	}
+	switch v.Kind {
+	case types.KindInt32, types.KindInt64:
+		return strconv.FormatInt(v.I64, 10)
+	case types.KindFloat64:
+		return strconv.FormatFloat(v.F64, 'g', -1, 64)
+	case types.KindDate:
+		return types.FormatDate(int32(v.I64))
+	case types.KindBool:
+		if v.I64 != 0 {
+			return "true"
+		}
+		return "false"
+	default:
+		return v.Str
+	}
+}

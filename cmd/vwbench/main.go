@@ -40,6 +40,10 @@ func main() {
 		runCheck(*checkPath)
 		return
 	}
+	if *trendDir != "" {
+		runTrend(*trendDir)
+		return
+	}
 	if *debugAddr != "" {
 		debughttp.Serve(*debugAddr, metrics.Default, nil)
 		fmt.Printf("debug server on http://%s (/metrics, /debug/pprof)\n", *debugAddr)

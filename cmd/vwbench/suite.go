@@ -22,12 +22,14 @@ import (
 )
 
 // Suite mode runs a fixed scan/filter/agg/join grid at two scales, plus a
-// parallel-scaling matrix (pscan/pjoin/psort × P=1,2,4) and a concurrency
-// matrix (cscan × C=1,4,8 × cooperative/LRU buffering) at the large scale,
-// and emits a machine-readable report (schema vwbench/v3) with the
+// parallel-scaling matrix (pscan/pjoin/psort × P=1,2,4), a concurrency
+// matrix (cscan × C=1,4,8 × cooperative/LRU buffering) and a clustered-load
+// matrix (cload/cprune × clustered/unclustered layout) at the large scale,
+// and emits a machine-readable report (schema vwbench/v4) with the
 // engine-metric deltas attracted by each cell. -check validates a previously
 // emitted report — optionally diffing its timings against an older artifact
-// via -prev — which is what CI's bench-smoke job does.
+// via -prev — which is what CI's bench-smoke job does. -trend prints the
+// timing trajectory across every committed BENCH_*.json artifact.
 var (
 	suiteMode = flag.Bool("suite", false, "run the scan/filter/agg/join suite instead of E1…E12")
 	jsonPath  = flag.String("json", "", "write the suite report to this file (suite mode)")
@@ -37,8 +39,9 @@ var (
 
 // suiteSchema identifies the report format; bump on breaking changes.
 // v2 added the parallel-scaling cells (Parallel > 0); v3 the concurrency
-// cells (Clients > 0) with their physical loads-per-query.
-const suiteSchema = "vwbench/v3"
+// cells (Clients > 0) with their physical loads-per-query; v4 the
+// clustered-load cells (Layout != "") with their groups-touched ratio.
+const suiteSchema = "vwbench/v4"
 
 type suiteCell struct {
 	Name       string  `json:"name"`
@@ -46,15 +49,23 @@ type suiteCell struct {
 	Parallel   int     `json:"parallel,omitempty"` // 0 = serial grid cell
 	Clients    int     `json:"clients,omitempty"`  // >0 = concurrency cell
 	Coop       bool    `json:"coop,omitempty"`     // concurrency cells: sharing mode
+	Layout     string  `json:"layout,omitempty"`   // cluster cells: "clu" or "unc"
 	Seconds    float64 `json:"seconds"`
 	ResultRows int64   `json:"result_rows"`
 	// LoadsPerQuery is the physical row-group reads per client query
 	// (concurrency cells only): the number cooperative scans push sublinear.
-	LoadsPerQuery float64            `json:"loads_per_query,omitempty"`
+	LoadsPerQuery float64 `json:"loads_per_query,omitempty"`
+	// GroupsTouched is the fraction of row groups a cprune range scan
+	// actually decoded (cluster cells only): scanned / (scanned + skipped).
+	// The clustered layout must keep it at or below cpruneMaxTouched.
+	GroupsTouched float64            `json:"groups_touched_ratio,omitempty"`
 	Metrics       map[string]float64 `json:"metrics"`
 }
 
 func (c *suiteCell) key() string {
+	if c.Layout != "" {
+		return fmt.Sprintf("%s@%d+%s", c.Name, c.Rows, c.Layout)
+	}
 	if c.Clients > 0 {
 		mode := "lru"
 		if c.Coop {
@@ -295,6 +306,7 @@ func runSuite() {
 		}
 	}
 	runConcurrencyCells(&rep, scales[len(scales)-1])
+	runClusterCells(&rep, scales[len(scales)-1])
 	out, err := json.MarshalIndent(&rep, "", "  ")
 	check(err)
 	out = append(out, '\n')
@@ -351,6 +363,16 @@ func checkReport(data []byte) []string {
 		if c.Clients > 0 && c.LoadsPerQuery <= 0 {
 			problems = append(problems, id+": no physical loads recorded (scans bypassed the buffer seam)")
 		}
+		if c.Name == cpruneName && c.Layout == cluLayout {
+			switch {
+			case c.GroupsTouched <= 0:
+				problems = append(problems, id+": no groups-touched ratio recorded (range scan bypassed the zone maps)")
+			case c.GroupsTouched > cpruneMaxTouched:
+				problems = append(problems, fmt.Sprintf(
+					"%s: clustered range scan touched %.0f%% of row groups, want <= %.0f%%",
+					id, c.GroupsTouched*100, cpruneMaxTouched*100))
+			}
+		}
 		seen[c.key()] = true
 	}
 	for _, scale := range rep.Scales {
@@ -376,6 +398,14 @@ func checkReport(data []byte) []string {
 				key := fmt.Sprintf("%s@%d/C%d+%s", cscanName, large, cl, mode)
 				if !seen[key] {
 					problems = append(problems, "missing concurrency cell "+key)
+				}
+			}
+		}
+		for _, name := range []string{cloadName, cpruneName} {
+			for _, layout := range []string{cluLayout, uncLayout} {
+				key := fmt.Sprintf("%s@%d+%s", name, large, layout)
+				if !seen[key] {
+					problems = append(problems, "missing cluster cell "+key)
 				}
 			}
 		}
@@ -437,6 +467,34 @@ func diffReports(w io.Writer, prev, cur []byte) error {
 				fmt.Fprintf(w, "coop    %-12s loads/query: %.1f vs lru %.1f\n",
 					c.key(), c.LoadsPerQuery, l)
 			}
+		}
+	}
+	// Clustered-layout effect: what the sort on the way in costs (cload) and
+	// what it buys (cprune touches a sliver of the groups the plain layout
+	// must decode in full).
+	unc := map[string]suiteCell{}
+	for _, c := range now.Results {
+		if c.Layout == uncLayout {
+			unc[fmt.Sprintf("%s@%d", c.Name, c.Rows)] = c
+		}
+	}
+	for _, c := range now.Results {
+		if c.Layout != cluLayout {
+			continue
+		}
+		u, ok := unc[fmt.Sprintf("%s@%d", c.Name, c.Rows)]
+		if !ok {
+			continue
+		}
+		switch c.Name {
+		case cloadName:
+			if u.Seconds > 0 {
+				fmt.Fprintf(w, "cluster %-12s sorted load vs plain: %.2fx\n",
+					c.key(), c.Seconds/u.Seconds)
+			}
+		case cpruneName:
+			fmt.Fprintf(w, "cluster %-12s groups touched: %.0f%% vs unc %.0f%%\n",
+				c.key(), c.GroupsTouched*100, u.GroupsTouched*100)
 		}
 	}
 	return nil

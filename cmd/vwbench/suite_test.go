@@ -49,7 +49,54 @@ func validReport() suiteReport {
 			})
 		}
 	}
+	for _, layout := range []string{cluLayout, uncLayout} {
+		touched := 1.0 // the plain layout decodes every group
+		if layout == cluLayout {
+			touched = 0.2 // the clustered layout prunes to the window
+		}
+		rep.Results = append(rep.Results,
+			suiteCell{
+				Name:       cloadName,
+				Rows:       large,
+				Layout:     layout,
+				Seconds:    0.005,
+				ResultRows: int64(large),
+				Metrics:    map[string]float64{"colstore_groups_scanned_total": 1},
+			},
+			suiteCell{
+				Name:          cpruneName,
+				Rows:          large,
+				Layout:        layout,
+				Seconds:       0.001,
+				ResultRows:    1,
+				GroupsTouched: touched,
+				Metrics:       map[string]float64{"colstore_groups_skipped_total": 4},
+			})
+	}
 	return rep
+}
+
+// mutateCell rewrites the first cell matching pred (panics if none matches,
+// which would make a mutation case vacuous).
+func mutateCell(r *suiteReport, pred func(*suiteCell) bool, f func(*suiteCell)) {
+	for i := range r.Results {
+		if pred(&r.Results[i]) {
+			f(&r.Results[i])
+			return
+		}
+	}
+	panic("mutateCell: no matching cell")
+}
+
+// dropCell removes the first cell matching pred.
+func dropCell(r *suiteReport, pred func(*suiteCell) bool) {
+	for i := range r.Results {
+		if pred(&r.Results[i]) {
+			r.Results = append(r.Results[:i], r.Results[i+1:]...)
+			return
+		}
+	}
+	panic("dropCell: no matching cell")
 }
 
 func marshal(t *testing.T, rep suiteReport) []byte {
@@ -79,14 +126,31 @@ func TestCheckReportMalformed(t *testing.T) {
 		{"zero seconds", func(r *suiteReport) { r.Results[0].Seconds = 0 }, "seconds"},
 		{"no metrics", func(r *suiteReport) { r.Results[0].Metrics = nil }, "metric deltas"},
 		{"missing concurrency cell", func(r *suiteReport) {
-			r.Results = r.Results[:len(r.Results)-1]
+			dropCell(r, func(c *suiteCell) bool { return c.Clients == 8 && !c.Coop })
 		}, "missing concurrency cell"},
 		{"degree rows disagree", func(r *suiteReport) {
-			r.Results[len(r.Results)-1].ResultRows = 99
+			mutateCell(r, func(c *suiteCell) bool { return c.Clients == 8 && !c.Coop },
+				func(c *suiteCell) { c.ResultRows = 99 })
 		}, "result rows"},
 		{"concurrency cell without loads", func(r *suiteReport) {
-			r.Results[len(r.Results)-1].LoadsPerQuery = 0
+			mutateCell(r, func(c *suiteCell) bool { return c.Clients == 8 && !c.Coop },
+				func(c *suiteCell) { c.LoadsPerQuery = 0 })
 		}, "no physical loads"},
+		{"missing cluster cell", func(r *suiteReport) {
+			dropCell(r, func(c *suiteCell) bool {
+				return c.Name == cpruneName && c.Layout == uncLayout
+			})
+		}, "missing cluster cell"},
+		{"clustered scan touches too many groups", func(r *suiteReport) {
+			mutateCell(r, func(c *suiteCell) bool {
+				return c.Name == cpruneName && c.Layout == cluLayout
+			}, func(c *suiteCell) { c.GroupsTouched = 0.5 })
+		}, "touched"},
+		{"cprune cell without ratio", func(r *suiteReport) {
+			mutateCell(r, func(c *suiteCell) bool {
+				return c.Name == cpruneName && c.Layout == cluLayout
+			}, func(c *suiteCell) { c.GroupsTouched = 0 })
+		}, "no groups-touched ratio"},
 		{"missing scaling cell", func(r *suiteReport) {
 			for i, c := range r.Results {
 				if c.Parallel == 4 && c.Name == "psort" {
@@ -133,12 +197,15 @@ func TestDiffReports(t *testing.T) {
 	}
 	out := buf.String()
 	for _, want := range []string{
-		"scan@1000",                  // shared cell diffed
-		"new",                        // cells absent from prev flagged, not failed
-		"scaling pscan@4000/P4",      // speedup line per parallel cell
-		"speedup vs P=1: 4.00x",      // 0.002/P timings → P× speedup
-		"cscan@4000/C8+coop",         // concurrency cells appear
-		"loads/query: 1.2 vs lru 10", // coop-vs-lru comparison line
+		"scan@1000",                       // shared cell diffed
+		"new",                             // cells absent from prev flagged, not failed
+		"scaling pscan@4000/P4",           // speedup line per parallel cell
+		"speedup vs P=1: 4.00x",           // 0.002/P timings → P× speedup
+		"cscan@4000/C8+coop",              // concurrency cells appear
+		"loads/query: 1.2 vs lru 10",      // coop-vs-lru comparison line
+		"cprune@4000+clu",                 // cluster cells appear
+		"groups touched: 20% vs unc 100%", // clustered-pruning comparison line
+		"sorted load vs plain: 1.00x",     // clustered-load cost line
 	} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("diff output lacks %q:\n%s", want, out)

@@ -1,0 +1,94 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// -trend turns the committed per-PR suite artifacts into a trajectory table:
+// one row per cell, one timing column per BENCH_<n>.json (in PR order), so a
+// cell's drift across the repo's history is visible at a glance. Schemas may
+// differ between artifacts — older ones simply leave their missing cells
+// blank — and, like -prev diffing, the output is informational: timings
+// shift with hardware, so no trend is a failure.
+var trendDir = flag.String("trend", "", "print the timing trajectory across the BENCH_*.json artifacts in this directory")
+
+func runTrend(dir string) {
+	paths, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	check(err)
+	if len(paths) == 0 {
+		log.Fatalf("trend: no BENCH_*.json artifacts in %s", dir)
+	}
+	type artifact struct {
+		name  string
+		num   int
+		cells map[string]suiteCell
+	}
+	arts := make([]artifact, 0, len(paths))
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		check(err)
+		var rep suiteReport
+		if err := json.Unmarshal(data, &rep); err != nil {
+			log.Fatalf("trend: %s: %v", p, err)
+		}
+		a := artifact{
+			name:  strings.TrimSuffix(filepath.Base(p), ".json"),
+			num:   -1, // non-numeric suffixes sort first, by name
+			cells: map[string]suiteCell{},
+		}
+		if n, err := strconv.Atoi(strings.TrimPrefix(a.name, "BENCH_")); err == nil {
+			a.num = n
+		}
+		for _, c := range rep.Results {
+			a.cells[c.key()] = c
+		}
+		arts = append(arts, a)
+	}
+	sort.Slice(arts, func(i, j int) bool {
+		if arts[i].num != arts[j].num {
+			return arts[i].num < arts[j].num
+		}
+		return arts[i].name < arts[j].name
+	})
+
+	// Cells in first-appearance order, oldest artifact first, so rows added
+	// by later PRs trail the long-lived ones.
+	var keys []string
+	seen := map[string]bool{}
+	for _, a := range arts {
+		var local []string
+		for k := range a.cells {
+			if !seen[k] {
+				seen[k] = true
+				local = append(local, k)
+			}
+		}
+		sort.Strings(local)
+		keys = append(keys, local...)
+	}
+
+	fmt.Printf("%-22s", "cell")
+	for _, a := range arts {
+		fmt.Printf(" %12s", a.name)
+	}
+	fmt.Println()
+	for _, k := range keys {
+		fmt.Printf("%-22s", k)
+		for _, a := range arts {
+			if c, ok := a.cells[k]; ok {
+				fmt.Printf(" %10.2fms", c.Seconds*1e3)
+			} else {
+				fmt.Printf(" %12s", "—")
+			}
+		}
+		fmt.Println()
+	}
+}

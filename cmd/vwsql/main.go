@@ -1,8 +1,10 @@
 // vwsql is an interactive SQL shell over the engine: type statements
 // terminated by ';', or pipe a script on stdin. Meta commands: \q quits,
-// \events dumps the monitor's event log, \plan [id] shows the physical
-// plan a query ran with (most recent when id is omitted), \stats dumps the
-// engine metrics registry, \trace [id] shows a query's per-phase trace.
+// \help lists them, \copy expands to a COPY statement (optionally
+// clustered), \events dumps the monitor's event log, \plan [id] shows the
+// physical plan a query ran with (most recent when id is omitted), \stats
+// dumps the engine metrics registry, \trace [id] shows a query's per-phase
+// trace.
 //
 // With -connect addr the shell runs no engine of its own: it becomes a
 // client of a vwserver, forwarding statements over the line protocol and
@@ -83,8 +85,26 @@ func main() {
 				showStats(db, fields[1:])
 			case "\\trace":
 				showTrace(db, fields[1:])
+			case "\\help":
+				fmt.Print(metaHelp)
+			case "\\copy":
+				sqlText, err := copySQL(fields)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "error:", err)
+					break
+				}
+				t0 := time.Now()
+				res, err := db.ExecScript(ctx, sqlText)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "error:", err)
+					break
+				}
+				fmt.Print(engine.FormatResult(res))
+				if *timing {
+					fmt.Printf("time: %v\n", time.Since(t0).Round(time.Microsecond))
+				}
 			default:
-				fmt.Println("unknown meta command:", trimmed)
+				fmt.Println("unknown meta command:", trimmed, `(\help lists meta commands)`)
 			}
 			if interactive {
 				fmt.Print("vw> ")
@@ -141,19 +161,45 @@ func runClient(addr string, timing bool) error {
 	for scanner.Scan() {
 		line := scanner.Text()
 		trimmed := strings.TrimSpace(line)
-		if buf.Len() == 0 && (trimmed == `\q` || trimmed == `\quit`) {
-			return nil
-		}
-		buf.WriteString(line)
-		buf.WriteByte('\n')
-		if !strings.Contains(line, ";") {
-			if interactive {
-				fmt.Print("..> ")
+		var stmtText string
+		if buf.Len() == 0 && strings.HasPrefix(trimmed, "\\") {
+			fields := strings.Fields(trimmed)
+			switch fields[0] {
+			case `\q`, `\quit`:
+				return nil
+			case `\help`:
+				fmt.Print(metaHelp)
+			case `\copy`:
+				// Expands client-side; the COPY statement itself runs on
+				// the server, reading a file on the server's filesystem.
+				sqlText, err := copySQL(fields)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "error:", err)
+				} else {
+					stmtText = sqlText
+				}
+			default:
+				fmt.Println("unknown meta command:", trimmed, `(\help lists meta commands; \events, \plan, \stats and \trace are local-engine only — see sys.metrics, sys.queries)`)
 			}
-			continue
+			if stmtText == "" {
+				if interactive {
+					fmt.Print("vw> ")
+				}
+				continue
+			}
 		}
-		stmtText := buf.String()
-		buf.Reset()
+		if stmtText == "" {
+			buf.WriteString(line)
+			buf.WriteByte('\n')
+			if !strings.Contains(line, ";") {
+				if interactive {
+					fmt.Print("..> ")
+				}
+				continue
+			}
+			stmtText = buf.String()
+			buf.Reset()
+		}
 		t0 := time.Now()
 		if _, err := w.WriteString(stmtText); err != nil {
 			return err
@@ -267,6 +313,33 @@ func showTrace(db *engine.DB, args []string) {
 func printTrace(qi monitor.QueryInfo) {
 	fmt.Printf("q%d [%s]: %s\n", qi.ID, qi.Status, qi.SQL)
 	fmt.Print(monitor.FormatSpans(qi.Spans))
+}
+
+const metaHelp = `meta commands:
+  \q, \quit             quit the shell
+  \help                 show this help
+  \copy TABLE FILE [col ...]
+                        bulk-load a CSV file: expands to
+                        COPY TABLE FROM 'FILE' [ORDER BY col, ...];
+                        with columns the rows are sorted on the way into
+                        storage (clustered load, ordered zone maps)
+  \events               dump the monitor event log        (local engine)
+  \plan [id]            show a query's physical plan      (local engine)
+  \stats [substr]       dump engine metrics               (local engine)
+  \trace [id]           show a query's per-phase trace    (local engine)
+`
+
+// copySQL expands a \copy meta command into a COPY statement. Trailing
+// column names become the clustered-load sort order.
+func copySQL(fields []string) (string, error) {
+	if len(fields) < 3 {
+		return "", fmt.Errorf(`usage: \copy TABLE FILE [col ...]`)
+	}
+	sql := fmt.Sprintf("COPY %s FROM '%s'", fields[1], fields[2])
+	if len(fields) > 3 {
+		sql += " ORDER BY " + strings.Join(fields[3:], ", ")
+	}
+	return sql + ";\n", nil
 }
 
 func isTerminal() bool {

@@ -41,6 +41,19 @@ type ScanRange struct {
 // String renders the range for plan display.
 func (r ScanRange) String() string { return types.FormatRange("$", r.Col, r.Lo, r.Hi) }
 
+// GroupWindow is the contiguous row-group interval [Lo, Hi) of Total groups
+// a clustered range scan expects to touch (ordered zone-map pruning). A
+// planning hint only: scans re-derive the window against their own storage
+// snapshot at open time.
+type GroupWindow struct {
+	Lo, Hi, Total int
+}
+
+// String renders the window for plan display.
+func (w GroupWindow) String() string {
+	return fmt.Sprintf("groups=[%d,%d)/%d", w.Lo, w.Hi, w.Total)
+}
+
 // Scan reads columns of a stable table. In parallel plans the parallelizer
 // clones the scan into P morsel workers: all clones share MorselID (one
 // run-time work queue of row-group morsels) and each carries its Worker
@@ -60,6 +73,9 @@ type Scan struct {
 	// columns keep their positions through NULL decomposition, so the
 	// rewriter carries them unchanged.
 	Ranges []ScanRange
+	// Window is the clustered group interval implied by Ranges, when a
+	// range column is clustered (nil otherwise).
+	Window *GroupWindow
 }
 
 // Schema implements Node.
@@ -84,6 +100,9 @@ func (s *Scan) Line() string {
 			parts[i] = r.String()
 		}
 		rng = ", ranges=[" + strings.Join(parts, ", ") + "]"
+	}
+	if s.Window != nil {
+		rng += ", " + s.Window.String()
 	}
 	return fmt.Sprintf("Scan('%s', [%s]%s%s)", s.Table, strings.Join(s.Cols, ", "), part, rng)
 }

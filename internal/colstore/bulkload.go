@@ -1,0 +1,236 @@
+package colstore
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"vectorwise/internal/types"
+	"vectorwise/internal/vec"
+)
+
+// Clustered bulk loading: rows stream through an external sort-merge
+// straight into finished row groups. Incoming rows buffer into runs of
+// bounded size; each full run is sorted and "spilled" into a compressed
+// run table (same codecs as stable storage, so the uncompressed working
+// set stays one run no matter the load size). Close k-way merges the runs
+// through the table's appender, producing row groups whose min/max
+// summaries are tight and disjoint by construction — which is exactly what
+// keeps the table's clustered markers set and makes zone-map pruning
+// near-perfect.
+
+// DefaultRunRows bounds the uncompressed sort buffer: four row groups of
+// boxed values per run before it is compressed away.
+const DefaultRunRows = 4 * BlockRows
+
+// SortKey names one physical column of the load order. Descending keys
+// sort correctly but leave the column's blocks descending, which clears
+// its clustered marker — per-group skip checks still prune, only the
+// binary-searched interval needs ascending order.
+type SortKey struct {
+	Col  int
+	Desc bool
+}
+
+// BulkLoader accumulates rows and writes them sorted into t on Close.
+// Append takes ownership of the row slices it is given. Not safe for
+// concurrent use.
+type BulkLoader struct {
+	t       *Table
+	keys    []SortKey
+	runRows int
+	buf     [][]types.Value
+	runs    []*Table
+	total   int64
+}
+
+// NewBulkLoader prepares a clustered load of t ordered by keys. runRows
+// bounds the in-memory run size (<= 0 selects DefaultRunRows). The target
+// table must be empty: the loader defines the table's physical order, it
+// does not interleave with existing groups.
+func (t *Table) NewBulkLoader(keys []SortKey, runRows int) (*BulkLoader, error) {
+	if t.Rows() != 0 {
+		return nil, fmt.Errorf("colstore: bulk load target must be empty")
+	}
+	if len(keys) == 0 {
+		return nil, fmt.Errorf("colstore: bulk load needs at least one sort key")
+	}
+	for _, k := range keys {
+		if k.Col < 0 || k.Col >= len(t.cols) {
+			return nil, fmt.Errorf("colstore: sort key column %d out of range", k.Col)
+		}
+	}
+	if runRows <= 0 {
+		runRows = DefaultRunRows
+	}
+	return &BulkLoader{t: t, keys: keys, runRows: runRows}, nil
+}
+
+// Append adds one physical row (ownership transfers to the loader).
+func (l *BulkLoader) Append(row []types.Value) error {
+	if len(row) != len(l.t.cols) {
+		return fmt.Errorf("colstore: row has %d values, table has %d columns", len(row), len(l.t.cols))
+	}
+	l.buf = append(l.buf, row)
+	l.total++
+	if len(l.buf) >= l.runRows {
+		return l.spill()
+	}
+	return nil
+}
+
+// Rows reports how many rows the loader has accepted so far.
+func (l *BulkLoader) Rows() int64 { return l.total }
+
+// less orders two rows by the sort keys (stable input order breaks ties
+// via the caller's sort.SliceStable / heap run index).
+func (l *BulkLoader) less(a, b []types.Value) bool {
+	for _, k := range l.keys {
+		c := types.Compare(a[k.Col], b[k.Col])
+		if k.Desc {
+			c = -c
+		}
+		if c != 0 {
+			return c < 0
+		}
+	}
+	return false
+}
+
+// spill sorts the buffered rows and compresses them into a run table.
+func (l *BulkLoader) spill() error {
+	if len(l.buf) == 0 {
+		return nil
+	}
+	sort.SliceStable(l.buf, func(i, j int) bool { return l.less(l.buf[i], l.buf[j]) })
+	run := NewTable(l.t.schema)
+	ap := run.NewAppender()
+	for _, row := range l.buf {
+		if err := ap.AppendRow(row); err != nil {
+			return err
+		}
+	}
+	if err := ap.Close(); err != nil {
+		return err
+	}
+	l.runs = append(l.runs, run)
+	l.buf = nil
+	return nil
+}
+
+// Close sorts and merges everything accepted so far into the target table.
+// The loader must not be reused afterwards.
+func (l *BulkLoader) Close() error {
+	// Single-run loads (the common small case) skip the merge entirely.
+	if len(l.runs) == 0 {
+		sort.SliceStable(l.buf, func(i, j int) bool { return l.less(l.buf[i], l.buf[j]) })
+		ap := l.t.NewAppender()
+		for _, row := range l.buf {
+			if err := ap.AppendRow(row); err != nil {
+				return err
+			}
+		}
+		l.buf = nil
+		return ap.Close()
+	}
+	if err := l.spill(); err != nil {
+		return err
+	}
+	return l.merge()
+}
+
+// runCursor streams one sorted run row-at-a-time for the merge. The
+// current row is boxed once per advance, not per heap comparison.
+type runCursor struct {
+	id   int
+	sc   *Scanner
+	b    *vec.Batch
+	pos  int
+	rows int
+	cur  []types.Value
+}
+
+func (c *runCursor) row() []types.Value { return c.cur }
+
+// advance moves to the next row, refilling from the scanner; reports
+// whether a row is available.
+func (c *runCursor) advance() (bool, error) {
+	c.pos++
+	if c.pos >= c.rows {
+		_, n, done, err := c.sc.Next(c.b)
+		if err != nil || done {
+			return false, err
+		}
+		c.pos, c.rows = 0, n
+	}
+	c.cur = c.b.GetRow(c.pos)
+	return true, nil
+}
+
+// runHeap orders cursors by their current row (ties by run id, so equal
+// keys come out in arrival order and the merge is stable).
+type runHeap struct {
+	cur  []*runCursor
+	less func(a, b []types.Value) bool
+}
+
+func (h *runHeap) Len() int { return len(h.cur) }
+func (h *runHeap) Less(i, j int) bool {
+	a, b := h.cur[i], h.cur[j]
+	if h.less(a.row(), b.row()) {
+		return true
+	}
+	if h.less(b.row(), a.row()) {
+		return false
+	}
+	return a.id < b.id
+}
+func (h *runHeap) Swap(i, j int) { h.cur[i], h.cur[j] = h.cur[j], h.cur[i] }
+func (h *runHeap) Push(x any)    { h.cur = append(h.cur, x.(*runCursor)) }
+func (h *runHeap) Pop() any {
+	x := h.cur[len(h.cur)-1]
+	h.cur = h.cur[:len(h.cur)-1]
+	return x
+}
+
+// merge k-way merges the sorted runs into the target appender.
+func (l *BulkLoader) merge() error {
+	all := make([]int, len(l.t.cols))
+	for i := range all {
+		all[i] = i
+	}
+	h := &runHeap{less: l.less}
+	for id, run := range l.runs {
+		sc, err := run.NewScanner(all, vec.DefaultSize)
+		if err != nil {
+			return err
+		}
+		c := &runCursor{id: id, sc: sc, b: vec.NewBatch(sc.Kinds(), vec.DefaultSize), pos: -1}
+		ok, err := c.advance()
+		if err != nil {
+			return err
+		}
+		if ok {
+			h.cur = append(h.cur, c)
+		}
+	}
+	heap.Init(h)
+	ap := l.t.NewAppender()
+	for h.Len() > 0 {
+		c := h.cur[0]
+		if err := ap.AppendRow(c.row()); err != nil {
+			return err
+		}
+		ok, err := c.advance()
+		if err != nil {
+			return err
+		}
+		if ok {
+			heap.Fix(h, 0)
+		} else {
+			heap.Pop(h)
+		}
+	}
+	l.runs = nil
+	return ap.Close()
+}

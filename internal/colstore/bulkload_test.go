@@ -1,0 +1,231 @@
+package colstore
+
+import (
+	"path/filepath"
+	"testing"
+
+	"vectorwise/internal/types"
+	"vectorwise/internal/vec"
+)
+
+func kvSchema() *types.Schema {
+	return types.NewSchema(
+		types.Col("k", types.Int64),
+		types.Col("v", types.Float64),
+	)
+}
+
+func iptr(v int64) *types.Value {
+	x := types.NewInt64(v)
+	return &x
+}
+
+// loadClustered bulk-loads rows with k = reverse order through the loader,
+// forcing an external multi-run merge when runRows < rows.
+func loadClustered(t *testing.T, rows, runRows int) *Table {
+	t.Helper()
+	tab := NewTable(kvSchema())
+	l, err := tab.NewBulkLoader([]SortKey{{Col: 0}}, runRows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := rows - 1; i >= 0; i-- {
+		if err := l.Append([]types.Value{
+			types.NewInt64(int64(i)),
+			types.NewFloat64(float64(i) * 0.5),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return tab
+}
+
+func assertSortedClustered(t *testing.T, tab *Table, rows int) {
+	t.Helper()
+	if got := tab.Rows(); got != int64(rows) {
+		t.Fatalf("rows = %d, want %d", got, rows)
+	}
+	if !tab.Clustered(0) {
+		t.Fatal("sort column not marked clustered")
+	}
+	sc, err := tab.NewScanner([]int{0, 1}, vec.DefaultSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := vec.NewBatch(sc.Kinds(), vec.DefaultSize)
+	next := int64(0)
+	for {
+		_, n, done, err := sc.Next(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if done {
+			break
+		}
+		for i := 0; i < n; i++ {
+			if b.Vecs[0].I64[i] != next {
+				t.Fatalf("row %d: k = %d, want %d (not sorted or lost rows)", next, b.Vecs[0].I64[i], next)
+			}
+			if b.Vecs[1].F64[i] != float64(next)*0.5 {
+				t.Fatalf("row %d: v = %v (payload detached from key)", next, b.Vecs[1].F64[i])
+			}
+			next++
+		}
+	}
+	if next != int64(rows) {
+		t.Fatalf("scanned %d rows, want %d", next, rows)
+	}
+}
+
+func TestBulkLoaderSingleRun(t *testing.T) {
+	rows := BlockRows + 100 // 2 groups, one run
+	tab := loadClustered(t, rows, DefaultRunRows)
+	assertSortedClustered(t, tab, rows)
+}
+
+func TestBulkLoaderExternalMerge(t *testing.T) {
+	rows := 3 * BlockRows
+	tab := loadClustered(t, rows, 1000) // ~50 runs k-way merged
+	assertSortedClustered(t, tab, rows)
+	if n := tab.NumBlocks(); n != 3 {
+		t.Fatalf("merged table spans %d groups, want 3", n)
+	}
+}
+
+func TestBulkLoaderDescendingClearsMarker(t *testing.T) {
+	tab := NewTable(kvSchema())
+	l, err := tab.NewBulkLoader([]SortKey{{Col: 0, Desc: true}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := 2 * BlockRows
+	for i := 0; i < rows; i++ {
+		if err := l.Append([]types.Value{types.NewInt64(int64(i)), types.NewFloat64(0)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Blocks are descending: ascending binary search does not apply, so the
+	// marker must be off; per-group skip checks still work.
+	if tab.Clustered(0) {
+		t.Fatal("descending load left the ascending-clustered marker set")
+	}
+}
+
+func TestBulkLoaderGuards(t *testing.T) {
+	tab := NewTable(kvSchema())
+	if _, err := tab.NewBulkLoader(nil, 0); err == nil {
+		t.Fatal("no sort keys accepted")
+	}
+	if _, err := tab.NewBulkLoader([]SortKey{{Col: 5}}, 0); err == nil {
+		t.Fatal("out-of-range key accepted")
+	}
+	ap := tab.NewAppender()
+	if err := ap.AppendRow([]types.Value{types.NewInt64(1), types.NewFloat64(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ap.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tab.NewBulkLoader([]SortKey{{Col: 0}}, 0); err == nil {
+		t.Fatal("non-empty target accepted")
+	}
+}
+
+func TestClusteredWindowBinarySearchEdges(t *testing.T) {
+	rows := 4 * BlockRows
+	tab := loadClustered(t, rows, DefaultRunRows)
+	cases := []struct {
+		lo, hi         *types.Value
+		wantLo, wantHi int
+	}{
+		{nil, nil, 0, 4},
+		{iptr(0), iptr(int64(rows - 1)), 0, 4},
+		{iptr(0), iptr(0), 0, 1},                                         // first row only
+		{iptr(int64(rows - 1)), nil, 3, 4},                               // last row only
+		{iptr(int64(BlockRows)), iptr(int64(BlockRows)), 1, 2},           // exact group start
+		{iptr(int64(BlockRows - 1)), iptr(int64(BlockRows)), 0, 2},       // straddles a boundary
+		{iptr(int64(rows)), nil, 4, 4},                                   // above the data: empty window
+		{nil, iptr(-1), 0, 0},                                            // below the data: empty window
+		{iptr(int64(2 * BlockRows)), iptr(int64(3*BlockRows - 1)), 2, 3}, // one interior group
+	}
+	for i, c := range cases {
+		lo, hi := tab.ClusteredWindow([]RangeFilter{{Col: 0, Lo: c.lo, Hi: c.hi}})
+		if lo != c.wantLo || hi != c.wantHi {
+			t.Fatalf("case %d: window = [%d,%d), want [%d,%d)", i, lo, hi, c.wantLo, c.wantHi)
+		}
+	}
+	// A filter on an unclustered column contributes nothing. (In the loaded
+	// table v is correlated with k, so build one where it is not: k
+	// ascending, v oscillating across groups.)
+	osc := NewTable(kvSchema())
+	ap := osc.NewAppender()
+	for i := 0; i < 2*BlockRows; i++ {
+		if err := ap.AppendRow([]types.Value{
+			types.NewInt64(int64(i)),
+			types.NewFloat64(float64(i % 10)),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ap.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if osc.Clustered(1) {
+		t.Fatal("oscillating column marked clustered")
+	}
+	fp := types.NewFloat64(3)
+	lo, hi := osc.ClusteredWindow([]RangeFilter{{Col: 1, Lo: &fp, Hi: &fp}})
+	if lo != 0 || hi != 2 {
+		t.Fatalf("unclustered filter narrowed the window to [%d,%d)", lo, hi)
+	}
+}
+
+func TestAppendOutOfOrderClearsMarker(t *testing.T) {
+	rows := 2 * BlockRows
+	tab := loadClustered(t, rows, DefaultRunRows)
+	if !tab.Clustered(0) {
+		t.Fatal("precondition: loaded table clustered")
+	}
+	// Appending a group whose min falls below the previous max breaks the
+	// ordering invariant; the marker must clear incrementally.
+	ap := tab.NewAppender()
+	for i := 0; i < BlockRows; i++ {
+		if err := ap.AppendRow([]types.Value{types.NewInt64(0), types.NewFloat64(0)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ap.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if tab.Clustered(0) {
+		t.Fatal("out-of-order append left the clustered marker set")
+	}
+	// And the window degrades to the full table, never a wrong interval.
+	lo, hi := tab.ClusteredWindow([]RangeFilter{{Col: 0, Lo: iptr(5), Hi: iptr(5)}})
+	if lo != 0 || hi != tab.NumBlocks() {
+		t.Fatalf("unclustered window = [%d,%d), want full table", lo, hi)
+	}
+}
+
+func TestPersistRoundTripKeepsClusteredMarkers(t *testing.T) {
+	rows := 2 * BlockRows
+	tab := loadClustered(t, rows, 1000)
+	path := filepath.Join(t.TempDir(), "t.vwt")
+	if err := tab.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !loaded.Clustered(0) {
+		t.Fatal("clustered marker lost across save/load")
+	}
+	assertSortedClustered(t, loaded, rows)
+}

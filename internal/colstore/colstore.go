@@ -15,11 +15,20 @@ package colstore
 import (
 	"fmt"
 	"math"
+	"sort"
 	"sync"
 
 	"vectorwise/internal/compress"
+	"vectorwise/internal/metrics"
 	"vectorwise/internal/types"
 	"vectorwise/internal/vec"
+)
+
+// Append instrumentation: one atomic add per flushed row group, mirroring
+// the scan-side counters in scan.go.
+var (
+	mRowsAppended  = metrics.Default.Counter("colstore_rows_appended_total")
+	mGroupsFlushed = metrics.Default.Counter("colstore_groups_flushed_total")
 )
 
 // BlockRows is the number of rows per row group. Large enough for the
@@ -49,15 +58,25 @@ type Table struct {
 	schema *types.Schema
 	cols   []Column
 	rows   int64
+	// clustered[c] records that column c's blocks are ascending and
+	// non-overlapping (prev.Max <= next.Min), i.e. its zone maps form an
+	// ordered index: a range predicate prunes to a contiguous group
+	// interval found by binary search. Vacuously true on an empty table;
+	// maintained incrementally on every flush, so only order-preserving
+	// loads (the clustered bulk loader, or accidentally sorted appends)
+	// keep it.
+	clustered []bool
 }
 
 // NewTable creates an empty table with the given physical schema. NULLable
 // logical columns must already be decomposed by the caller into a value
 // column and a BOOL indicator column (claim C6).
 func NewTable(schema *types.Schema) *Table {
-	t := &Table{schema: schema.Clone(), cols: make([]Column, schema.Len())}
+	t := &Table{schema: schema.Clone(), cols: make([]Column, schema.Len()),
+		clustered: make([]bool, schema.Len())}
 	for i, c := range schema.Cols {
 		t.cols[i].Type = c.Type
+		t.clustered[i] = true
 	}
 	return t
 }
@@ -111,6 +130,117 @@ func (t *Table) ColumnSummary(col int) (min, max types.Value, ok bool) {
 		}
 	}
 	return min, max, true
+}
+
+// Clustered reports whether column col's blocks are ordered and
+// non-overlapping, so its zone maps support interval pruning.
+func (t *Table) Clustered(col int) bool {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return col >= 0 && col < len(t.clustered) && t.clustered[col]
+}
+
+// RefreshClustered recomputes every column's clustered marker from the
+// block summaries — used after loading legacy files that predate the
+// persisted marker, and by tests.
+func (t *Table) RefreshClustered() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for c := range t.cols {
+		t.clustered[c] = blocksOrdered(t.cols[c].Blocks)
+	}
+}
+
+func blocksOrdered(blocks []Block) bool {
+	for i := 1; i < len(blocks); i++ {
+		if types.Compare(blocks[i].Min, blocks[i-1].Max) < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// ClusteredWindow intersects the filters' bounds against every clustered
+// column's ordered zone maps, returning the contiguous row-group interval
+// [lo, hi) that can contain matching rows. Filters on unclustered columns
+// contribute nothing (their groups interleave); with no clustered filter
+// the window is the whole table. hi == lo means no group can match.
+func (t *Table) ClusteredWindow(filters []RangeFilter) (lo, hi int) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	blocks := make([][]Block, len(t.cols))
+	for i := range t.cols {
+		blocks[i] = t.cols[i].Blocks
+	}
+	n := 0
+	if len(t.cols) > 0 {
+		n = len(t.cols[0].Blocks)
+	}
+	return clusteredWindow(blocks, t.clustered, filters, n)
+}
+
+// clusteredWindow is the snapshot-friendly core of ClusteredWindow: binary
+// search over ordered per-group summaries instead of a per-group check.
+// Clustering makes Min and Max non-decreasing across groups, so both
+// predicates below are monotone.
+func clusteredWindow(blocks [][]Block, clustered []bool, filters []RangeFilter, n int) (lo, hi int) {
+	lo, hi = 0, n
+	for _, f := range filters {
+		if f.Col < 0 || f.Col >= len(clustered) || !clustered[f.Col] {
+			continue
+		}
+		col := blocks[f.Col]
+		if f.Lo != nil {
+			// First group whose Max reaches the lower bound.
+			g := sort.Search(n, func(g int) bool {
+				return types.Compare(col[g].Max, *f.Lo) >= 0
+			})
+			if g > lo {
+				lo = g
+			}
+		}
+		if f.Hi != nil {
+			// First group whose Min exceeds the upper bound.
+			g := sort.Search(n, func(g int) bool {
+				return types.Compare(col[g].Min, *f.Hi) > 0
+			})
+			if g < hi {
+				hi = g
+			}
+		}
+	}
+	if hi < lo {
+		hi = lo
+	}
+	return lo, hi
+}
+
+// AccountWindowPrune records the groups outside [lo, hi) as skipped in the
+// scan metrics (groups and encoded bytes of the projected columns). Morsel
+// sources that narrow the offered group set call this once per scan —
+// worker scanners never even see the pruned groups.
+func (t *Table) AccountWindowPrune(cols []int, lo, hi int) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	n := 0
+	if len(t.cols) > 0 {
+		n = len(t.cols[0].Blocks)
+	}
+	pruned := lo + (n - hi)
+	if pruned <= 0 {
+		return
+	}
+	var bytes int64
+	for _, c := range cols {
+		for g := 0; g < lo; g++ {
+			bytes += int64(len(t.cols[c].Blocks[g].Data))
+		}
+		for g := hi; g < n; g++ {
+			bytes += int64(len(t.cols[c].Blocks[g].Data))
+		}
+	}
+	mGroupsSkipped.Add(int64(pruned))
+	mBytesSkipped.Add(bytes)
 }
 
 // CompressedBytes totals the encoded size of all blocks (experiment E3's
@@ -191,9 +321,15 @@ func (a *Appender) Flush() error {
 		if err != nil {
 			return err
 		}
+		if prev := t.cols[c].Blocks; len(prev) > 0 && t.clustered[c] &&
+			types.Compare(blk.Min, prev[len(prev)-1].Max) < 0 {
+			t.clustered[c] = false
+		}
 		t.cols[c].Blocks = append(t.cols[c].Blocks, blk)
 	}
 	t.rows += int64(n)
+	mRowsAppended.Add(int64(n))
+	mGroupsFlushed.Inc()
 	a.buf.Reset()
 	return nil
 }

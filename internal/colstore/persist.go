@@ -14,17 +14,23 @@ import (
 
 // On-disk format (one file per table):
 //
-//	magic "VWT1"
+//	magic "VWT2"
 //	uvarint ncols | per column: name, kind byte, nullable byte
+//	per column: clustered byte (VWT2 only)
 //	uvarint rows
 //	per column: uvarint nblocks | per block:
 //	    uvarint rows, codec byte, min value, max value,
 //	    uvarint len(data), data bytes
 //
 // Values are encoded as kind byte + kind-specific payload. The format is
-// self-contained and versioned by the magic string.
+// self-contained and versioned by the magic string. VWT2 added the
+// per-column clustered markers; VWT1 files still load, recomputing the
+// markers from the block summaries they carry.
 
-var magic = []byte("VWT1")
+var (
+	magic   = []byte("VWT2")
+	magicV1 = []byte("VWT1")
+)
 
 // Save writes the table to path atomically (temp file + rename).
 func (t *Table) Save(path string) error {
@@ -72,6 +78,13 @@ func (t *Table) write(w io.Writer) error {
 		}
 		writeByte(w, nb)
 	}
+	for _, cl := range t.clustered {
+		cb := byte(0)
+		if cl {
+			cb = 1
+		}
+		writeByte(w, cb)
+	}
 	writeUvarint(w, uint64(t.rows))
 	for i := range t.cols {
 		col := &t.cols[i]
@@ -100,7 +113,15 @@ func Load(path string) (*Table, error) {
 	defer f.Close()
 	r := bufio.NewReaderSize(f, 1<<20)
 	var m [4]byte
-	if _, err := io.ReadFull(r, m[:]); err != nil || string(m[:]) != string(magic) {
+	legacy := false
+	if _, err := io.ReadFull(r, m[:]); err != nil {
+		return nil, fmt.Errorf("colstore: %s is not a table file", path)
+	}
+	switch string(m[:]) {
+	case string(magic):
+	case string(magicV1):
+		legacy = true
+	default:
 		return nil, fmt.Errorf("colstore: %s is not a table file", path)
 	}
 	ncols, err := binary.ReadUvarint(r)
@@ -128,6 +149,15 @@ func Load(path string) (*Table, error) {
 		schema.Cols = append(schema.Cols, types.Col(name, tt))
 	}
 	t := NewTable(schema)
+	if !legacy {
+		for i := range t.clustered {
+			cb, err := r.ReadByte()
+			if err != nil {
+				return nil, err
+			}
+			t.clustered[i] = cb != 0
+		}
+	}
 	rows, err := binary.ReadUvarint(r)
 	if err != nil {
 		return nil, err
@@ -166,6 +196,10 @@ func Load(path string) (*Table, error) {
 			}
 			t.cols[i].Blocks = append(t.cols[i].Blocks, blk)
 		}
+	}
+	if legacy {
+		// Pre-marker files: derive the markers from the summaries.
+		t.RefreshClustered()
 	}
 	return t, nil
 }

@@ -15,6 +15,7 @@ var (
 	mGroupsScanned = metrics.Default.Counter("colstore_groups_scanned_total")
 	mGroupsSkipped = metrics.Default.Counter("colstore_groups_skipped_total")
 	mBytesDecoded  = metrics.Default.Counter("colstore_bytes_decompressed_total")
+	mBytesSkipped  = metrics.Default.Counter("colstore_bytes_skipped_total")
 	mRowsScanned   = metrics.Default.Counter("colstore_rows_scanned_total")
 )
 
@@ -29,18 +30,21 @@ type Scanner struct {
 	filters []RangeFilter
 
 	// Snapshot of the block lists (appends after creation are invisible).
-	blocks  [][]Block
-	nGroups int
+	blocks    [][]Block
+	clustered []bool
+	nGroups   int
 
-	group   int // current row group
-	limit   int // first group past the scan window (exclusive)
-	offset  int // row offset within the group
-	rowBase int64
-	prefix  []int64       // per-group starting SIDs (built on first SeekGroup)
-	decoded []*vec.Vector // decoded vectors per projected column
-	loaded  bool
-	skipped int
-	total   int // row groups this scanner covers (its partition)
+	group     int // current row group
+	limit     int // first group past the scan window (exclusive)
+	offset    int // row offset within the group
+	seekBase  int // SeekGroup offset: morsel g maps to group seekBase+g
+	rowBase   int64
+	prefix    []int64       // per-group starting SIDs (built on first SeekGroup)
+	decoded   []*vec.Vector // decoded vectors per projected column
+	loaded    bool
+	skipped   int
+	total     int // row groups this scanner covers (its partition)
+	skipBytes int64
 
 	// When src is set, group bytes come through the buffer manager instead
 	// of the block snapshot; pending holds the current group's per-column
@@ -61,11 +65,12 @@ type RangeFilter struct {
 // NewScannerPart creates a scanner over one of `parts` contiguous row-group
 // partitions — the unit the rewriter's parallelizer splits scans into.
 func (t *Table) NewScannerPart(cols []int, vecSize, part, parts int, filters ...RangeFilter) (*Scanner, error) {
-	s, err := t.NewScanner(cols, vecSize, filters...)
+	s, err := t.newScanner(cols, vecSize, filters...)
 	if err != nil {
 		return nil, err
 	}
 	if parts <= 1 {
+		s.applyClusteredWindow()
 		return s, nil
 	}
 	lo := s.nGroups * part / parts
@@ -86,7 +91,10 @@ func (t *Table) NewScannerPart(cols []int, vecSize, part, parts int, filters ...
 // across seeks. This is the run-time granule of the morsel-driven parallel
 // scan — workers pull group numbers from a shared queue and reposition.
 func (t *Table) NewMorselScanner(cols []int, vecSize int, filters ...RangeFilter) (*Scanner, error) {
-	s, err := t.NewScanner(cols, vecSize, filters...)
+	// No clustered-window narrowing here: the morsel *source* computes the
+	// window once, offers only its groups as morsels, and accounts the
+	// pruned groups once — per-worker narrowing would multiply-count them.
+	s, err := t.newScanner(cols, vecSize, filters...)
 	if err != nil {
 		return nil, err
 	}
@@ -104,6 +112,7 @@ func (s *Scanner) NumGroups() int { return s.nGroups }
 // Each seek adds one group to the TotalGroups denominator, so per-worker
 // skip accounting stays exact under morsel dispatch.
 func (s *Scanner) SeekGroup(g int) {
+	g += s.seekBase
 	if s.prefix == nil {
 		s.prefix = make([]int64, s.nGroups+1)
 		for i := 0; i < s.nGroups; i++ {
@@ -118,6 +127,11 @@ func (s *Scanner) SeekGroup(g int) {
 	s.rowBase = s.prefix[g]
 	s.total++
 }
+
+// SetSeekBase offsets every subsequent SeekGroup by base. Morsel sources
+// that prune to a clustered group window hand workers morsel numbers
+// [0, window); the base maps them back onto absolute row groups.
+func (s *Scanner) SetSeekBase(base int) { s.seekBase = base }
 
 // SetBlockSource routes group reads through src (a buffer-manager pool or a
 // cooperative scan). ctx bounds the fetches the scanner issues itself.
@@ -140,8 +154,18 @@ func (s *Scanner) SeekGroupData(g int, payload []byte) error {
 }
 
 // NewScanner creates a scanner over the given column indexes with batches
-// of vecSize rows.
+// of vecSize rows. When a filter column is clustered, the scan window is
+// immediately narrowed to the matching group interval.
 func (t *Table) NewScanner(cols []int, vecSize int, filters ...RangeFilter) (*Scanner, error) {
+	s, err := t.newScanner(cols, vecSize, filters...)
+	if err != nil {
+		return nil, err
+	}
+	s.applyClusteredWindow()
+	return s, nil
+}
+
+func (t *Table) newScanner(cols []int, vecSize int, filters ...RangeFilter) (*Scanner, error) {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	for _, c := range cols {
@@ -162,6 +186,7 @@ func (t *Table) NewScanner(cols []int, vecSize int, filters ...RangeFilter) (*Sc
 	for i := range t.cols {
 		s.blocks[i] = t.cols[i].Blocks
 	}
+	s.clustered = append([]bool(nil), t.clustered...)
 	if len(t.cols) > 0 {
 		s.nGroups = len(t.cols[0].Blocks)
 	}
@@ -172,6 +197,47 @@ func (t *Table) NewScanner(cols []int, vecSize int, filters ...RangeFilter) (*Sc
 		s.decoded[i] = vec.New(t.cols[c].Type.Kind, BlockRows)
 	}
 	return s, nil
+}
+
+// applyClusteredWindow narrows the serial scan window to the contiguous
+// group interval a clustered range filter allows — binary search over the
+// ordered zone maps instead of a per-group check. Derived from the
+// scanner's own snapshot, so compile-time planning never has to be right
+// about run-time storage. Pruned groups count as skipped.
+func (s *Scanner) applyClusteredWindow() {
+	if len(s.filters) == 0 || s.nGroups == 0 {
+		return
+	}
+	lo, hi := clusteredWindow(s.blocks, s.clustered, s.filters, s.nGroups)
+	if lo == 0 && hi == s.nGroups {
+		return
+	}
+	var base int64
+	for g := 0; g < lo; g++ {
+		base += int64(s.groupRows(g))
+	}
+	pruned := lo + (s.nGroups - hi)
+	var bytes int64
+	for g := 0; g < s.nGroups; g++ {
+		if g < lo || g >= hi {
+			bytes += s.groupBytes(g)
+		}
+	}
+	s.group, s.limit, s.rowBase = lo, hi, base
+	s.skipped += pruned
+	s.skipBytes += bytes
+	mGroupsSkipped.Add(int64(pruned))
+	mBytesSkipped.Add(bytes)
+}
+
+// groupBytes is the encoded size of group g's projected columns — the
+// physical bytes a skip avoids decoding.
+func (s *Scanner) groupBytes(g int) int64 {
+	var n int64
+	for _, c := range s.cols {
+		n += int64(len(s.blocks[c][g].Data))
+	}
+	return n
 }
 
 // Kinds returns the vector kinds the scanner produces, in projection order.
@@ -185,6 +251,10 @@ func (s *Scanner) Kinds() []types.Kind {
 
 // SkippedGroups reports how many row groups block skipping pruned so far.
 func (s *Scanner) SkippedGroups() int { return s.skipped }
+
+// SkippedBytes reports the encoded bytes of the projected columns in the
+// pruned groups — the physical I/O and decompression skipping saved.
+func (s *Scanner) SkippedBytes() int64 { return s.skipBytes }
 
 // TotalGroups reports how many row groups this scanner's partition covers,
 // skipped or not — the denominator of the "skipped=N/M groups" profile line.
@@ -201,10 +271,13 @@ func (s *Scanner) Next(b *vec.Batch) (start int64, n int, done bool, err error) 
 		gRows := s.groupRows(s.group)
 		if s.offset == 0 && !s.loaded {
 			if s.skipGroup(s.group) {
+				bytes := s.groupBytes(s.group)
 				s.rowBase += int64(gRows)
 				s.group++
 				s.skipped++
+				s.skipBytes += bytes
 				mGroupsSkipped.Inc()
+				mBytesSkipped.Add(bytes)
 				continue
 			}
 			if s.src != nil && s.pending == nil && len(s.cols) > 0 {

@@ -241,6 +241,28 @@ func (db *DB) ColumnBounds(table, col string) (types.Value, types.Value, bool) {
 	return stable.ColumnSummary(idx)
 }
 
+// ClusteredWindow implements optimizer.ClusterStats: when col is clustered
+// (groups sorted and disjoint — a clustered bulk load guarantees this), a
+// binary search over the ordered zone maps yields the contiguous group
+// interval [lo, hi) that can contain values in [loV, hiV].
+func (db *DB) ClusteredWindow(table, col string, loV, hiV *types.Value) (lo, hi, total int, ok bool) {
+	e, err := db.entry(table)
+	if err != nil || e.store == nil {
+		return 0, 0, 0, false
+	}
+	stable := e.store.Stable()
+	idx := stable.Schema().Find(col)
+	if idx < 0 || !stable.Clustered(idx) {
+		return 0, 0, 0, false
+	}
+	total = stable.NumBlocks()
+	if total == 0 {
+		return 0, 0, 0, false
+	}
+	lo, hi = stable.ClusteredWindow([]colstore.RangeFilter{{Col: idx, Lo: loV, Hi: hiV}})
+	return lo, hi, total, true
+}
+
 // Store returns a vectorwise table's transactional store (tests, benches).
 func (db *DB) Store(name string) (*txn.Store, error) {
 	db.mu.RLock()

@@ -19,6 +19,7 @@ import (
 	"vectorwise/internal/rowengine"
 	"vectorwise/internal/sql"
 	"vectorwise/internal/txn"
+	"vectorwise/internal/types"
 	"vectorwise/internal/vec"
 	"vectorwise/internal/xcompile"
 )
@@ -69,8 +70,8 @@ func (db *DB) compileSelect(s *sql.SelectStmt) (*compiled, error) {
 	t = time.Now()
 	rw, err := rewriter.Rewrite(alg, rewriter.Options{
 		Parallel: par,
-		GroupsHint: func(table string) int {
-			return db.groupsAvailable(table)
+		GroupsHint: func(table string, cols []string, ranges []algebra.ScanRange) int {
+			return db.groupsAvailable(table, cols, ranges)
 		},
 	})
 	if err != nil {
@@ -88,22 +89,51 @@ func (db *DB) compileSelect(s *sql.SelectStmt) (*compiled, error) {
 }
 
 // groupsAvailable reports how many row-group morsels a table's stable
-// storage offers, capping the parallel degree. Deliberately NOT sensitive
-// to pending deltas: whether a scan can really run morsel-parallel is
-// decided at Open time inside the query's snapshot (MorselSource), so a
-// write racing between compile and run changes the run-time stream, never
-// the plan shape — the compile-vs-run delta race the old partition hint
-// suffered from is gone.
-func (db *DB) groupsAvailable(table string) int {
+// storage offers the given scan, capping the parallel degree. Range bounds
+// on clustered columns shrink the estimate to the contiguous group window
+// the scan will actually touch — no point spinning up more workers than
+// surviving groups. Deliberately NOT sensitive to pending deltas: whether a
+// scan can really run morsel-parallel is decided at Open time inside the
+// query's snapshot (MorselSource), so a write racing between compile and
+// run changes the run-time stream, never the plan shape — the
+// compile-vs-run delta race the old partition hint suffered from is gone.
+func (db *DB) groupsAvailable(table string, cols []string, ranges []algebra.ScanRange) int {
 	e, err := db.entry(table)
 	if err != nil || e.store == nil {
 		return 1
 	}
-	blocks := e.store.Stable().NumBlocks()
+	stable := e.store.Stable()
+	blocks := stable.NumBlocks()
 	if blocks < 1 {
 		return 1
 	}
+	if filters := storageFilters(stable.Schema(), cols, ranges); len(filters) > 0 {
+		lo, hi := stable.ClusteredWindow(filters)
+		if w := hi - lo; w < blocks {
+			blocks = w
+		}
+		if blocks < 1 {
+			return 1
+		}
+	}
 	return blocks
+}
+
+// storageFilters resolves scan-output ranges (by physical column name) to
+// storage-indexed range filters; unknown names are skipped.
+func storageFilters(schema *types.Schema, cols []string, ranges []algebra.ScanRange) []colstore.RangeFilter {
+	var out []colstore.RangeFilter
+	for _, r := range ranges {
+		if r.Col < 0 || r.Col >= len(cols) {
+			continue
+		}
+		idx := schema.Find(cols[r.Col])
+		if idx < 0 {
+			continue
+		}
+		out = append(out, colstore.RangeFilter{Col: idx, Lo: r.Lo, Hi: r.Hi})
+	}
+	return out
 }
 
 // PhysicalTable implements physical.Catalog.
@@ -347,7 +377,7 @@ func (qs *querySession) MorselSource(table string, cols []int, vecSize int, filt
 		return exec.SerialMorselSource(src), nil
 	}
 	snap := tx.StableSnapshot()
-	base := &stableMorselSource{snap: snap, cols: cols, vecSize: vecSize, filters: filters}
+	base := newStableMorselSource(snap, cols, vecSize, filters)
 	sh := qs.db.shareFor(table, snap)
 	if sh == nil {
 		return base, nil
@@ -367,20 +397,43 @@ func (qs *querySession) MorselSource(table string, cols []int, vecSize int, filt
 
 // stableMorselSource serves a delta-free stable snapshot as row-group
 // morsels. Each worker gets its own scanner (independent decode buffers);
-// they coordinate purely through the morsel queue.
+// they coordinate purely through the morsel queue. Range filters on
+// clustered columns narrow the offered groups to the window [winLo, winHi)
+// once, here — workers never even see the pruned groups.
 type stableMorselSource struct {
-	snap    *colstore.Table
-	cols    []int
-	vecSize int
-	filters []colstore.RangeFilter
+	snap         *colstore.Table
+	cols         []int
+	vecSize      int
+	filters      []colstore.RangeFilter
+	winLo, winHi int
+}
+
+// newStableMorselSource derives the clustered group window inside the
+// query's snapshot and accounts the pruned groups once for the whole scan.
+// An empty window is NOT accounted here: NumMorsels()==0 makes the executor
+// fall back to Serial(), whose scanner narrows and accounts for itself.
+func newStableMorselSource(snap *colstore.Table, cols []int, vecSize int, filters []colstore.RangeFilter) *stableMorselSource {
+	lo, hi := snap.ClusteredWindow(filters)
+	s := &stableMorselSource{snap: snap, cols: cols, vecSize: vecSize,
+		filters: filters, winLo: lo, winHi: hi}
+	if hi > lo && (lo > 0 || hi < snap.NumBlocks()) {
+		snap.AccountWindowPrune(cols, lo, hi)
+	}
+	return s
 }
 
 // NumMorsels implements exec.MorselSource.
-func (s *stableMorselSource) NumMorsels() int { return s.snap.NumBlocks() }
+func (s *stableMorselSource) NumMorsels() int { return s.winHi - s.winLo }
 
-// Worker implements exec.MorselSource.
+// Worker implements exec.MorselSource. Queue indices are window-relative;
+// the seek base rebases them onto absolute group ids.
 func (s *stableMorselSource) Worker() (exec.MorselScanner, error) {
-	return s.snap.NewMorselScanner(s.cols, s.vecSize, s.filters...)
+	sc, err := s.snap.NewMorselScanner(s.cols, s.vecSize, s.filters...)
+	if err != nil {
+		return nil, err
+	}
+	sc.SetSeekBase(s.winLo)
+	return sc, nil
 }
 
 // Serial implements exec.MorselSource (only used when the snapshot has no

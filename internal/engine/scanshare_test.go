@@ -52,7 +52,7 @@ func TestConcurrentCoopScansShareLoadsAndStayExact(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	groups := db.groupsAvailable("t")
+	groups := db.groupsAvailable("t", nil, nil)
 	if groups < 4 {
 		t.Fatalf("table spans %d groups, want >= 4", groups)
 	}

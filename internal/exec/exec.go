@@ -103,6 +103,7 @@ type OpStats struct {
 	Nanos         int64
 	SkippedGroups int64
 	TotalGroups   int64
+	SkippedBytes  int64
 	Morsels       int64
 	MorselSteals  int64
 }
@@ -115,10 +116,21 @@ type GroupSkipping interface {
 	TotalGroups() int
 }
 
+// ByteSkipping extends GroupSkipping with the encoded size of the pruned
+// groups — the physical I/O a scan avoided, not just the group count.
+type ByteSkipping interface {
+	SkippedBytes() int64
+}
+
 // skipReporter is the operator-level view of GroupSkipping (ColScan
 // implements it by delegating to its source).
 type skipReporter interface {
 	SkipStats() (skipped, total int64)
+}
+
+// byteSkipReporter is the operator-level view of ByteSkipping.
+type byteSkipReporter interface {
+	SkippedByteStats() int64
 }
 
 // morselReporter is implemented by morsel-driven scan workers; the
@@ -212,6 +224,9 @@ func (p *Profiled) Stats() OpStats {
 	}
 	if sk, ok := p.Child.(skipReporter); ok {
 		st.SkippedGroups, st.TotalGroups = sk.SkipStats()
+	}
+	if bs, ok := p.Child.(byteSkipReporter); ok {
+		st.SkippedBytes = bs.SkippedByteStats()
 	}
 	if mr, ok := p.Child.(morselReporter); ok {
 		st.Morsels, st.MorselSteals = mr.MorselStats()

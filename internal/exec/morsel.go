@@ -363,3 +363,11 @@ func (m *MorselScan) SkipStats() (int64, int64) {
 	}
 	return 0, 0
 }
+
+// SkippedByteStats reports the encoded bytes this worker's scanner skipped.
+func (m *MorselScan) SkippedByteStats() int64 {
+	if bs, ok := m.scanner.(ByteSkipping); ok {
+		return bs.SkippedBytes()
+	}
+	return 0
+}

@@ -69,6 +69,15 @@ func (s *ColScan) SkipStats() (int64, int64) {
 	return 0, 0
 }
 
+// SkippedByteStats reports the encoded bytes of the skipped groups when the
+// source tracks them.
+func (s *ColScan) SkippedByteStats() int64 {
+	if bs, ok := s.src.(ByteSkipping); ok {
+		return bs.SkippedBytes()
+	}
+	return 0
+}
+
 // Values is a literal-rows operator (VALUES lists, tests).
 type Values struct {
 	Schema *types.Schema

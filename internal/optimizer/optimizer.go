@@ -26,7 +26,7 @@ func (o *Optimizer) Optimize(n plan.Node) plan.Node {
 	n = o.reorderJoins(n)
 	n = o.simplifyGroupBy(n)
 	n = o.pushdown(n) // join reordering can expose new pushdowns
-	n = extractScanRanges(n)
+	n = o.extractScanRanges(n)
 	return n
 }
 
@@ -166,11 +166,11 @@ func pushPred(n plan.Node, pred expr.Expr) plan.Node {
 // min/max block-skipping pushdown of the paper's sparse indexes. The
 // Selects themselves stay in the plan: skipping prunes whole row groups,
 // exact filtering remains the Select operator's job.
-func extractScanRanges(n plan.Node) plan.Node {
+func (o *Optimizer) extractScanRanges(n plan.Node) plan.Node {
 	ch := n.Children()
 	newCh := make([]plan.Node, len(ch))
 	for i, c := range ch {
-		newCh[i] = extractScanRanges(c)
+		newCh[i] = o.extractScanRanges(c)
 	}
 	n = n.WithChildren(newCh)
 	sel, ok := n.(*plan.Select)
@@ -201,7 +201,42 @@ func extractScanRanges(n plan.Node) plan.Node {
 	// partial set during recursion; this outermost pass wins.
 	annotated := *scan
 	annotated.Ranges = ranges
+	annotated.Window = o.clusteredWindow(&annotated)
 	return rebuildSelectChain(sel, &annotated)
+}
+
+// clusteredWindow intersects the clustered group intervals of the scan's
+// range columns into one contiguous [Lo, Hi) window annotation, or nil when
+// no range column is clustered. The window is a hint for parallelism and
+// plan display; the scanner re-derives it at open time against its own
+// snapshot (compile-time state must not leak into run-time results).
+func (o *Optimizer) clusteredWindow(scan *plan.Scan) *plan.GroupWindow {
+	cs, ok := o.Stats.(ClusterStats)
+	if !ok {
+		return nil
+	}
+	var w *plan.GroupWindow
+	for _, r := range scan.Ranges {
+		name := scan.Cols.Cols[r.Col].Name
+		lo, hi, total, ok := cs.ClusteredWindow(scan.Table, name, r.Lo, r.Hi)
+		if !ok {
+			continue
+		}
+		if w == nil {
+			w = &plan.GroupWindow{Lo: lo, Hi: hi, Total: total}
+			continue
+		}
+		if lo > w.Lo {
+			w.Lo = lo
+		}
+		if hi < w.Hi {
+			w.Hi = hi
+		}
+	}
+	if w != nil && w.Hi < w.Lo {
+		w.Hi = w.Lo
+	}
+	return w
 }
 
 func rebuildSelectChain(n plan.Node, leaf plan.Node) plan.Node {

@@ -59,6 +59,19 @@ func SummaryColStats(min, max types.Value) *ColStats {
 	return &ColStats{Min: min, Max: max, Bounds: []types.Value{max}}
 }
 
+// ClusterStats is an optional extension of Stats: ordered zone-map lookups
+// over clustered columns. A column is clustered when its row groups are
+// sorted and non-overlapping (a clustered bulk load produces this by
+// construction), which lets a range predicate binary-search to a contiguous
+// group interval instead of testing every group.
+type ClusterStats interface {
+	// ClusteredWindow returns the row-group interval [lo, hi) that can
+	// contain values in [loV, hiV] (nil = open side), plus the table's
+	// total group count. ok=false when the column is not clustered (or
+	// unknown) — the caller then has no interval to prune to.
+	ClusteredWindow(table, col string, loV, hiV *types.Value) (lo, hi, total int, ok bool)
+}
+
 // NoStats is a Stats that knows nothing (all defaults).
 type NoStats struct{}
 

@@ -196,6 +196,10 @@ func (b *builder) buildScan(t *algebra.Scan) (Node, error) {
 		}
 		filters = append(filters, colstore.RangeFilter{Col: idxs[r.Col], Lo: r.Lo, Hi: r.Hi})
 	}
+	var win *GroupWindow
+	if t.Window != nil {
+		win = &GroupWindow{Lo: t.Window.Lo, Hi: t.Window.Hi, Total: t.Window.Total}
+	}
 	if t.Morsels > 0 {
 		q := b.queues[t.MorselID]
 		if q == nil {
@@ -203,10 +207,10 @@ func (b *builder) buildScan(t *algebra.Scan) (Node, error) {
 			b.queues[t.MorselID] = q
 		}
 		return &ParallelScan{Table: t.Table, Cols: t.Cols, ColIdxs: idxs,
-			ColKinds: kinds, Filters: filters, Queue: q, Worker: t.Worker}, nil
+			ColKinds: kinds, Filters: filters, Queue: q, Worker: t.Worker, Window: win}, nil
 	}
 	return &Scan{Table: t.Table, Cols: t.Cols, ColIdxs: idxs, ColKinds: kinds,
-		Filters: filters}, nil
+		Filters: filters, Window: win}, nil
 }
 
 func aggFn(fn string) (exec.AggFn, error) {

@@ -56,6 +56,21 @@ type Scan struct {
 	ColIdxs  []int    // storage positions to read
 	ColKinds []types.Kind
 	Filters  []colstore.RangeFilter
+	// Window is the compile-time clustered group interval hint (display
+	// only — the scanner re-derives it in its own snapshot).
+	Window *GroupWindow
+}
+
+// GroupWindow mirrors the algebra window annotation for EXPLAIN PHYSICAL.
+type GroupWindow struct {
+	Lo, Hi, Total int
+}
+
+func (w *GroupWindow) suffix() string {
+	if w == nil {
+		return ""
+	}
+	return fmt.Sprintf(", groups=[%d,%d)/%d", w.Lo, w.Hi, w.Total)
 }
 
 // Op implements Node.
@@ -72,8 +87,8 @@ func (s *Scan) Parallelism() int { return 1 }
 
 // Line implements Node.
 func (s *Scan) Line() string {
-	return fmt.Sprintf("Scan('%s', %v @ %v%s)", s.Table, s.Cols, s.ColIdxs,
-		filtersString(s.Filters))
+	return fmt.Sprintf("Scan('%s', %v @ %v%s%s)", s.Table, s.Cols, s.ColIdxs,
+		filtersString(s.Filters), s.Window.suffix())
 }
 
 func filtersString(filters []colstore.RangeFilter) string {
@@ -110,6 +125,9 @@ type ParallelScan struct {
 	Filters  []colstore.RangeFilter
 	Queue    *ScanQueue
 	Worker   int
+	// Window is the compile-time clustered group interval hint (display
+	// only — the morsel source re-derives it in its own snapshot).
+	Window *GroupWindow
 }
 
 // Op implements Node.
@@ -127,9 +145,9 @@ func (s *ParallelScan) Parallelism() int { return 1 }
 
 // Line implements Node.
 func (s *ParallelScan) Line() string {
-	return fmt.Sprintf("ParallelScan('%s', %v @ %v, worker %d/%d, queue=%d%s)",
+	return fmt.Sprintf("ParallelScan('%s', %v @ %v, worker %d/%d, queue=%d%s%s)",
 		s.Table, s.Cols, s.ColIdxs, s.Worker, s.Queue.Workers, s.Queue.ID,
-		filtersString(s.Filters))
+		filtersString(s.Filters), s.Window.suffix())
 }
 
 // HeapScan adapts a classic (slotted-page) heap table into the vectorized

@@ -187,6 +187,9 @@ func (inst *Instance) RenderProfile() string {
 		skip := ""
 		if st.TotalGroups > 0 {
 			skip = fmt.Sprintf(" skipped=%d/%d groups", st.SkippedGroups, st.TotalGroups)
+			if st.SkippedBytes > 0 {
+				skip += fmt.Sprintf(" (%d bytes)", st.SkippedBytes)
+			}
 		}
 		morsels := ""
 		if st.Morsels > 0 {

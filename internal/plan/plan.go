@@ -37,6 +37,20 @@ type ColRange struct {
 // String renders the range for plan display.
 func (r ColRange) String() string { return types.FormatRange("$", r.Col, r.Lo, r.Hi) }
 
+// GroupWindow is the contiguous row-group interval [Lo, Hi) a clustered
+// range scan needs to touch, out of Total groups. It is a planning hint
+// derived from ordered zone maps at compile time: the scan re-derives the
+// exact window inside its own snapshot at open time, so concurrent deltas
+// and appends cannot make it wrong, only stale as an estimate.
+type GroupWindow struct {
+	Lo, Hi, Total int
+}
+
+// String renders the window for plan display.
+func (w GroupWindow) String() string {
+	return fmt.Sprintf("groups=[%d,%d)/%d", w.Lo, w.Hi, w.Total)
+}
+
 // Scan reads a base table.
 type Scan struct {
 	Table     string
@@ -47,6 +61,9 @@ type Scan struct {
 	Key int
 	// Ranges are sargable bounds for block skipping (vectorwise scans only).
 	Ranges []ColRange
+	// Window is the clustered group interval implied by Ranges, when a
+	// range column is clustered (nil otherwise).
+	Window *GroupWindow
 }
 
 // Schema implements Node.
@@ -64,6 +81,10 @@ func (s *Scan) String() string {
 		parts := make([]string, len(s.Ranges))
 		for i, r := range s.Ranges {
 			parts[i] = r.String()
+		}
+		if s.Window != nil {
+			return fmt.Sprintf("Scan(%s:%s, ranges=[%s], %s)",
+				s.Table, s.Structure, strings.Join(parts, ", "), s.Window)
 		}
 		return fmt.Sprintf("Scan(%s:%s, ranges=[%s])", s.Table, s.Structure, strings.Join(parts, ", "))
 	}

@@ -83,7 +83,7 @@ func decompose(n algebra.Node) (algebra.Node, ColMap, error) {
 		// widen block summaries — skipping stays conservative.
 		return &algebra.Scan{Table: t.Table, Structure: t.Structure, Cols: cols,
 			Out: phys, Morsels: t.Morsels, MorselID: t.MorselID, Worker: t.Worker,
-			Ranges: t.Ranges}, PhysicalColMap(logical), nil
+			Ranges: t.Ranges, Window: t.Window}, PhysicalColMap(logical), nil
 
 	case *algebra.Values:
 		logical := t.Out

@@ -44,11 +44,13 @@ type Options struct {
 	// Parallel is the desired degree of parallelism (≤1 = serial).
 	Parallel int
 	// GroupsHint tells the parallelizer how many row-group morsels the
-	// scanned table's stable storage offers, so the degree can be capped at
-	// the morsel count (engine supplies it; nil disables the cap). Unlike
-	// the old partition hint it must NOT reflect transient delta state —
+	// scanned table's stable storage offers the given scan, so the degree
+	// can be capped at the morsel count (engine supplies it; nil disables
+	// the cap). Cols/ranges let the engine shrink the estimate to the
+	// clustered group window a range scan will actually touch. Unlike the
+	// old partition hint it must NOT reflect transient delta state —
 	// run-time morsel sources handle deltas.
-	GroupsHint func(table string) int
+	GroupsHint func(table string, cols []string, ranges []algebra.ScanRange) int
 	// LowerFuncs replaces kernel-native functions with equivalent
 	// combinations (experiment E9's rewriter-lowered variant).
 	LowerFuncs bool
@@ -210,12 +212,12 @@ type parCtx struct {
 	nextID int
 }
 
-// degree picks the worker count for a scan of table: Options.Parallel
-// capped by the table's row-group morsel count.
-func (pc *parCtx) degree(table string) int {
+// degree picks the worker count for a scan: Options.Parallel capped by the
+// row-group morsel count the scan can actually touch.
+func (pc *parCtx) degree(scan *algebra.Scan) int {
 	p := pc.opts.Parallel
 	if pc.opts.GroupsHint != nil {
-		if g := pc.opts.GroupsHint(table); g >= 0 && g < p {
+		if g := pc.opts.GroupsHint(scan.Table, scan.Cols, scan.Ranges); g >= 0 && g < p {
 			p = g
 		}
 	}
@@ -240,7 +242,7 @@ func (pc *parCtx) chainDegree(chain algebra.Node) int {
 	if scan == nil || scan.Morsels > 0 {
 		return 0
 	}
-	if p := pc.degree(scan.Table); p > 1 {
+	if p := pc.degree(scan); p > 1 {
 		return p
 	}
 	return 0

@@ -188,7 +188,7 @@ func TestParallelizeAggr(t *testing.T) {
 	agg := &algebra.Aggr{Child: scan, GroupCols: []int{0},
 		Aggs:  []algebra.AggItem{{Fn: "count", Col: -1}, {Fn: "sum", Col: 1}, {Fn: "avg", Col: 1}},
 		Names: []string{"g", "c", "s", "a"}}
-	res, err := Rewrite(agg, Options{Parallel: 4, GroupsHint: func(string) int { return 8 }})
+	res, err := Rewrite(agg, Options{Parallel: 4, GroupsHint: func(string, []string, []algebra.ScanRange) int { return 8 }})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -208,7 +208,7 @@ func TestParallelizeAggr(t *testing.T) {
 func TestParallelizeRespectsGroupsHint(t *testing.T) {
 	scan := scanNode(types.Col("v", types.Int64))
 	agg := &algebra.Aggr{Child: scan, Aggs: []algebra.AggItem{{Fn: "sum", Col: 0}}, Names: []string{"s"}}
-	res, err := Rewrite(agg, Options{Parallel: 8, GroupsHint: func(string) int { return 1 }})
+	res, err := Rewrite(agg, Options{Parallel: 8, GroupsHint: func(string, []string, []algebra.ScanRange) int { return 1 }})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -222,7 +222,7 @@ func TestParallelizeSortAndTopN(t *testing.T) {
 		scan := scanNode(types.Col("v", types.Int64))
 		return &algebra.Sort{Child: scan, Keys: []algebra.SortKey{{Col: 0}}}
 	}
-	res, err := Rewrite(mk(), Options{Parallel: 3, GroupsHint: func(string) int { return 8 }})
+	res, err := Rewrite(mk(), Options{Parallel: 3, GroupsHint: func(string, []string, []algebra.ScanRange) int { return 8 }})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -236,7 +236,7 @@ func TestParallelizeSortAndTopN(t *testing.T) {
 
 	scan := scanNode(types.Col("v", types.Int64))
 	topn := &algebra.TopN{Child: scan, Keys: []algebra.SortKey{{Col: 0, Desc: true}}, N: 5}
-	res, err = Rewrite(topn, Options{Parallel: 2, GroupsHint: func(string) int { return 8 }})
+	res, err = Rewrite(topn, Options{Parallel: 2, GroupsHint: func(string, []string, []algebra.ScanRange) int { return 8 }})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -252,7 +252,7 @@ func TestParallelizeHashJoinProbe(t *testing.T) {
 	build := scanNode(types.Col("y", types.Int64))
 	j := &algebra.HashJoin{Left: probe, Right: build, Kind: algebra.Inner,
 		LeftKeys: []int{0}, RightKeys: []int{0}, LeftKeyNull: -1, RightKeyNull: -1}
-	res, err := Rewrite(j, Options{Parallel: 4, GroupsHint: func(string) int { return 8 }})
+	res, err := Rewrite(j, Options{Parallel: 4, GroupsHint: func(string, []string, []algebra.ScanRange) int { return 8 }})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -121,10 +121,18 @@ type DeleteStmt struct {
 
 func (*DeleteStmt) stmt() {}
 
-// CopyStmt bulk-loads a CSV file.
+// CopyStmt bulk-loads a CSV file. A non-empty OrderBy requests a clustered
+// load: rows are sorted by the named columns on the way into storage.
 type CopyStmt struct {
-	Table string
-	Path  string
+	Table   string
+	Path    string
+	OrderBy []CopyOrder
+}
+
+// CopyOrder is one sort key of a clustered COPY.
+type CopyOrder struct {
+	Col  string
+	Desc bool
 }
 
 func (*CopyStmt) stmt() {}

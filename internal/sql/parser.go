@@ -1159,5 +1159,27 @@ func (p *Parser) parseCopy() (Stmt, error) {
 		return nil, p.errf("expected file path string")
 	}
 	p.at++
-	return &CopyStmt{Table: name, Path: t.Text}, nil
+	st := &CopyStmt{Table: name, Path: t.Text}
+	if p.accept("ORDER") {
+		if err := p.expect("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			col, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			key := CopyOrder{Col: col}
+			if p.accept("DESC") {
+				key.Desc = true
+			} else {
+				p.accept("ASC")
+			}
+			st.OrderBy = append(st.OrderBy, key)
+			if !p.accept(",") {
+				break
+			}
+		}
+	}
+	return st, nil
 }

@@ -28,8 +28,12 @@ func Compile(n plan.Node) (algebra.Node, error) {
 		for i, r := range t.Ranges {
 			ranges[i] = algebra.ScanRange{Col: r.Col, Lo: r.Lo, Hi: r.Hi}
 		}
+		var win *algebra.GroupWindow
+		if t.Window != nil {
+			win = &algebra.GroupWindow{Lo: t.Window.Lo, Hi: t.Window.Hi, Total: t.Window.Total}
+		}
 		return &algebra.Scan{Table: t.Table, Structure: t.Structure, Cols: cols,
-			Out: t.Cols.Clone(), Ranges: ranges}, nil
+			Out: t.Cols.Clone(), Ranges: ranges, Window: win}, nil
 	case *plan.Select:
 		child, err := Compile(t.Child)
 		if err != nil {

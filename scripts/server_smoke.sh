@@ -48,6 +48,17 @@ printf 'SELECT COUNT(*) FROM sys.sessions;\n' \
   | "$DIR/vwsql" -connect "$ADDR" -timing=false | grep -q '1' \
   || { echo "sys.sessions not visible over the wire"; exit 1; }
 
+# Clustered COPY round-trips over the wire: \copy expands client-side, the
+# server sorts the (deliberately shuffled) CSV on the way into storage, and
+# a range query prunes to the ordered zone maps.
+for k in 7 3 9 1 8 2 6 0 5 4; do
+  printf '%s,%s.5\n' "$k" "$k"
+done > "$DIR/bulk.csv"
+printf 'CREATE TABLE bulk (k BIGINT, v DOUBLE);\n\\copy bulk %s/bulk.csv k\nSELECT COUNT(*), MIN(k), MAX(k) FROM bulk WHERE k BETWEEN 2 AND 8;\n' "$DIR" \
+  | "$DIR/vwsql" -connect "$ADDR" -timing=false > "$DIR/copy.txt" 2>&1
+grep -q '7' "$DIR/copy.txt" && grep -q '8' "$DIR/copy.txt" \
+  || { echo "clustered COPY over the wire failed:"; cat "$DIR/copy.txt"; exit 1; }
+
 kill -TERM "$SRV"
 wait "$SRV"
 echo "server smoke: OK (${CLIENTS} clients, graceful shutdown)"
