@@ -44,6 +44,10 @@ func main() {
 		runTrend(*trendDir)
 		return
 	}
+	if *walMode {
+		runWALBench()
+		return
+	}
 	if *debugAddr != "" {
 		debughttp.Serve(*debugAddr, metrics.Default, nil)
 		fmt.Printf("debug server on http://%s (/metrics, /debug/pprof)\n", *debugAddr)

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"vectorwise/internal/fsim"
+	"vectorwise/internal/metrics"
+	"vectorwise/internal/types"
+	"vectorwise/internal/wal"
+)
+
+var (
+	walMode       = flag.Bool("wal", false, "benchmark WAL group commit instead of running experiments")
+	walGoroutines = flag.Int("wal-goroutines", 8, "concurrent committers for -wal")
+	walAppends    = flag.Int("wal-appends", 2000, "appends per committer for -wal")
+)
+
+// runWALBench measures group-commit throughput on the real filesystem:
+// G committers race Append (each blocking on its fsync ack), and the
+// fsync-coalescing win shows up as appends-per-fsync > 1.
+func runWALBench() {
+	dir, err := os.MkdirTemp("", "vwbench-wal-*")
+	check(err)
+	defer os.RemoveAll(dir)
+
+	w, _, err := wal.Open(fsim.OS, filepath.Join(dir, "wal.log"))
+	check(err)
+	defer w.Close()
+
+	snap := func(name string) float64 {
+		v, _ := metrics.Default.Get(name)
+		return v
+	}
+	appends0, fsyncs0, bytes0 := snap("wal_appends_total"), snap("wal_fsyncs_total"), snap("wal_bytes_total")
+
+	ops := []wal.Op{{
+		Kind: wal.OpInsert,
+		Row:  []types.Value{types.NewInt64(42), types.NewFloat64(0.5)},
+	}}
+	g, m := *walGoroutines, *walAppends
+	var wg sync.WaitGroup
+	t0 := time.Now()
+	for i := 0; i < g; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < m; j++ {
+				if _, err := w.Append("bench", ops); err != nil {
+					check(err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(t0)
+
+	appends := snap("wal_appends_total") - appends0
+	fsyncs := snap("wal_fsyncs_total") - fsyncs0
+	written := snap("wal_bytes_total") - bytes0
+	fmt.Printf("wal bench: %d goroutines x %d appends on %s\n", g, m, dir)
+	fmt.Printf("elapsed:           %12v\n", elapsed.Round(time.Millisecond))
+	fmt.Printf("appends/sec:       %12.0f\n", appends/elapsed.Seconds())
+	fmt.Printf("fsyncs:            %12.0f\n", fsyncs)
+	if fsyncs > 0 {
+		fmt.Printf("appends per fsync: %12.1f\n", appends/fsyncs)
+	}
+	fmt.Printf("bytes written:     %12.0f (%.1f MB/s)\n", written, written/elapsed.Seconds()/1e6)
+}

@@ -29,6 +29,8 @@ import (
 
 func main() {
 	listen := flag.String("listen", "127.0.0.1:5433", "address to listen on")
+	dataDir := flag.String("data-dir", "", "durable data directory with WAL and checkpoints (empty = in-memory)")
+	idleSec := flag.Int("idle-timeout-sec", 0, "close connections idle longer than this many seconds (0 disables)")
 	pool := flag.Int("pool", 4, "max queries running concurrently")
 	queue := flag.Int("queue", 16, "max queries queued for admission (-1 disables queueing)")
 	memBudgetMB := flag.Int64("mem-budget-mb", 0, "total query-memory budget in MiB (0 = unlimited)")
@@ -42,7 +44,18 @@ func main() {
 	slowMs := flag.Int("slow-query-ms", 0, "log queries slower than this many milliseconds (0 disables)")
 	flag.Parse()
 
-	db := engine.Open()
+	var db *engine.DB
+	if *dataDir != "" {
+		var info *engine.RecoveryInfo
+		var err error
+		db, info, err = engine.OpenDir(*dataDir)
+		if err != nil {
+			log.Fatalf("vwserver: open %s: %v", *dataDir, err)
+		}
+		log.Printf("vwserver: %s: %s", *dataDir, info.Summary())
+	} else {
+		db = engine.Open()
+	}
 	db.Parallel = *parallel
 	db.CoopScans = *coop
 	if *bufferGroups > 0 {
@@ -76,6 +89,7 @@ func main() {
 		log.Fatalf("vwserver: %v", err)
 	}
 	srv := newServer(p, ln)
+	srv.idleTimeout = time.Duration(*idleSec) * time.Second
 	log.Printf("vwserver listening on %s (pool=%d queue=%d coop=%v)",
 		ln.Addr(), *pool, *queue, *coop)
 
@@ -87,6 +101,10 @@ func main() {
 	case <-sig:
 		log.Printf("vwserver: shutting down (drain %ds)", *drainSec)
 		srv.shutdown(time.Duration(*drainSec) * time.Second)
+		// Close the WAL only after the pool has drained every session.
+		if err := db.Close(); err != nil {
+			log.Fatalf("vwserver: close: %v", err)
+		}
 	case err := <-errc:
 		if err != nil {
 			log.Fatalf("vwserver: %v", err)

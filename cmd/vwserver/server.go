@@ -3,15 +3,21 @@ package main
 import (
 	"bufio"
 	"context"
+	"io"
 	"net"
 	"strings"
 	"sync"
 	"time"
 
 	"vectorwise/internal/engine"
+	"vectorwise/internal/metrics"
 	"vectorwise/internal/session"
 	"vectorwise/internal/wire"
 )
+
+// mIdleClosed counts connections the server closed because they sat idle
+// past -idle-timeout-sec without sending a statement.
+var mIdleClosed = metrics.Default.Counter("session_idle_closed_total")
 
 // server accepts TCP connections and runs one Session per connection.
 // Statements arrive as plain SQL text terminated by ';' (the wire package
@@ -26,10 +32,28 @@ type server struct {
 	ctx    context.Context
 	cancel context.CancelFunc
 
+	// idleTimeout, when positive, closes connections that send no bytes
+	// for that long; each close bumps session_idle_closed_total.
+	idleTimeout time.Duration
+
 	wg      sync.WaitGroup
 	mu      sync.Mutex
 	conns   map[net.Conn]struct{}
 	closing bool
+}
+
+// idleConn arms a fresh read deadline before every Read so the idle clock
+// restarts whenever the client sends anything.
+type idleConn struct {
+	net.Conn
+	timeout time.Duration
+}
+
+func (c *idleConn) Read(p []byte) (int, error) {
+	if err := c.SetReadDeadline(time.Now().Add(c.timeout)); err != nil {
+		return 0, err
+	}
+	return c.Conn.Read(p)
 }
 
 func newServer(pool *session.Pool, ln net.Listener) *server {
@@ -115,7 +139,11 @@ func (s *server) handle(conn net.Conn) {
 	}
 	defer sess.Close()
 
-	sc := bufio.NewScanner(conn)
+	var rd io.Reader = conn
+	if s.idleTimeout > 0 {
+		rd = &idleConn{Conn: conn, timeout: s.idleTimeout}
+	}
+	sc := bufio.NewScanner(rd)
 	sc.Buffer(make([]byte, 1<<20), 1<<24)
 	var buf strings.Builder
 	for sc.Scan() {
@@ -146,5 +174,8 @@ func (s *server) handle(conn net.Conn) {
 		if werr := wire.WriteResponse(w, errMsg, body); werr != nil {
 			return
 		}
+	}
+	if ne, ok := sc.Err().(net.Error); ok && ne.Timeout() {
+		mIdleClosed.Inc()
 	}
 }

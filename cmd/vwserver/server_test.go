@@ -17,8 +17,9 @@ import (
 )
 
 // startServer boots a server on a loopback port over a table with rows
-// rows, returning the dial address and a shutdown func.
-func startServer(t *testing.T, rows int, cfg session.Config) (string, *server) {
+// rows, returning the dial address and a shutdown func. Optional mut
+// hooks tweak the server before the accept loop starts.
+func startServer(t *testing.T, rows int, cfg session.Config, mut ...func(*server)) (string, *server) {
 	t.Helper()
 	db := engine.Open()
 	db.BufferGroups = 4
@@ -44,6 +45,9 @@ func startServer(t *testing.T, rows int, cfg session.Config) (string, *server) {
 		t.Fatal(err)
 	}
 	srv := newServer(p, ln)
+	for _, m := range mut {
+		m(srv)
+	}
 	go srv.serve()
 	return ln.Addr().String(), srv
 }
@@ -180,6 +184,35 @@ func TestServerConcurrentClients(t *testing.T) {
 	}
 	if st := srv.pool.Stats(); st.Running != 0 || st.Queued != 0 || st.Sessions != 0 {
 		t.Fatalf("pool not drained after shutdown: %+v", st)
+	}
+}
+
+// An idle timeout closes quiet connections server-side and counts them in
+// session_idle_closed_total; active connections are unaffected because the
+// deadline re-arms on every read.
+func TestServerIdleTimeout(t *testing.T) {
+	addr, srv := startServer(t, 100, session.Config{MaxConcurrent: 1},
+		func(s *server) { s.idleTimeout = 200 * time.Millisecond })
+	defer srv.shutdown(time.Second)
+	before := mIdleClosed.Value()
+
+	c := dialClient(t, addr)
+	defer c.close()
+	body, serverErr, err := c.query(`SELECT COUNT(*) FROM t;`)
+	if err != nil || serverErr != "" || !strings.Contains(body, "100") {
+		t.Fatalf("query before idling: %v %q\n%s", err, serverErr, body)
+	}
+	// Now go quiet: the server should drop the connection on its own.
+	c.conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := c.r.ReadByte(); err == nil {
+		t.Fatal("connection still open after idle timeout")
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for mIdleClosed.Value() == before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if mIdleClosed.Value() != before+1 {
+		t.Fatalf("session_idle_closed_total = %d, want %d", mIdleClosed.Value(), before+1)
 	}
 }
 

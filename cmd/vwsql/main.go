@@ -36,6 +36,7 @@ func main() {
 	debugAddr := flag.String("debug-addr", "", "serve /metrics and /debug/pprof on this address (off when empty)")
 	slowMs := flag.Int("slow-query-ms", 0, "log queries slower than this many milliseconds (0 disables)")
 	connect := flag.String("connect", "", "connect to a vwserver at this address instead of running an embedded engine")
+	dataDir := flag.String("data-dir", "", "durable data directory for the embedded engine (empty = in-memory)")
 	flag.Parse()
 
 	if *connect != "" {
@@ -46,7 +47,20 @@ func main() {
 		return
 	}
 
-	db := engine.Open()
+	var db *engine.DB
+	if *dataDir != "" {
+		var info *engine.RecoveryInfo
+		var err error
+		db, info, err = engine.OpenDir(*dataDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		defer db.Close()
+		fmt.Fprintf(os.Stderr, "%s: %s\n", *dataDir, info.Summary())
+	} else {
+		db = engine.Open()
+	}
 	db.Parallel = *parallel
 	if *slowMs > 0 {
 		db.Monitor.SetSlowThreshold(time.Duration(*slowMs) * time.Millisecond)

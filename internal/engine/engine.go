@@ -16,6 +16,7 @@ import (
 
 	"vectorwise/internal/colstore"
 	"vectorwise/internal/expr"
+	"vectorwise/internal/fsim"
 	"vectorwise/internal/metrics"
 	"vectorwise/internal/monitor"
 	"vectorwise/internal/optimizer"
@@ -25,6 +26,7 @@ import (
 	"vectorwise/internal/sql"
 	"vectorwise/internal/txn"
 	"vectorwise/internal/types"
+	"vectorwise/internal/wal"
 )
 
 // DB is a database instance: the shared storage/compile core that sessions
@@ -57,6 +59,14 @@ type DB struct {
 
 	shareMu sync.Mutex
 	shares  map[string]*scanShare
+
+	// Durability (nil/zero for in-memory databases; see durable.go).
+	fs          fsim.FS
+	dir         string
+	log         *wal.WAL
+	manifestMu  sync.Mutex // guards man and its file; a leaf lock, taken after db.mu / store locks
+	man         *manifest
+	quarantined map[string]error // table -> open failure (checksum)
 }
 
 // SessionInfo is one row of sys.sessions, reported by the session layer.
@@ -79,11 +89,12 @@ type tableEntry struct {
 // Open creates an empty in-memory database.
 func Open() *DB {
 	return &DB{
-		tables:    map[string]*tableEntry{},
-		stats:     map[string]map[string]*optimizer.ColStats{},
-		shares:    map[string]*scanShare{},
-		Monitor:   monitor.New(2048),
-		CoopScans: true,
+		tables:      map[string]*tableEntry{},
+		stats:       map[string]map[string]*optimizer.ColStats{},
+		shares:      map[string]*scanShare{},
+		quarantined: map[string]error{},
+		Monitor:     monitor.New(2048),
+		CoopScans:   true,
 	}
 }
 
@@ -195,6 +206,9 @@ func (db *DB) ResolveTable(name string) (*plan.TableMeta, error) {
 	defer db.mu.RUnlock()
 	e, ok := db.tables[name]
 	if !ok {
+		if qerr, qok := db.quarantined[name]; qok {
+			return nil, fmt.Errorf("engine: table %q is quarantined: %v", name, qerr)
+		}
 		return nil, fmt.Errorf("engine: no table %q", name)
 	}
 	return e.meta, nil
@@ -269,6 +283,9 @@ func (db *DB) Store(name string) (*txn.Store, error) {
 	defer db.mu.RUnlock()
 	e, ok := db.tables[name]
 	if !ok || e.store == nil {
+		if qerr, qok := db.quarantined[name]; qok {
+			return nil, fmt.Errorf("engine: table %q is quarantined: %v", name, qerr)
+		}
 		return nil, fmt.Errorf("engine: no vectorwise table %q", name)
 	}
 	return e.store, nil
@@ -292,6 +309,9 @@ func (db *DB) execCreate(s *sql.CreateTableStmt) (*Result, error) {
 	defer db.mu.Unlock()
 	if _, exists := db.tables[s.Name]; exists {
 		return nil, fmt.Errorf("engine: table %q already exists", s.Name)
+	}
+	if qerr, ok := db.quarantined[s.Name]; ok {
+		return nil, fmt.Errorf("engine: table %q exists but is quarantined (drop it first): %v", s.Name, qerr)
 	}
 	logical := &types.Schema{}
 	key := -1
@@ -322,6 +342,14 @@ func (db *DB) execCreate(s *sql.CreateTableStmt) (*Result, error) {
 	default:
 		return nil, fmt.Errorf("engine: unknown structure %q", s.Structure)
 	}
+	if db.durable() {
+		if err := db.createDurable(meta); err != nil {
+			return nil, err
+		}
+		if e.store != nil {
+			e.store.SetDurable(db.log, s.Name, db.persistFor(s.Name))
+		}
+	}
 	db.tables[s.Name] = e
 	db.Monitor.Log(monitor.EvDDL, "create table %s (%s)", s.Name, s.Structure)
 	return &Result{Text: "CREATE TABLE"}, nil
@@ -330,11 +358,21 @@ func (db *DB) execCreate(s *sql.CreateTableStmt) (*Result, error) {
 func (db *DB) execDrop(s *sql.DropTableStmt) (*Result, error) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	if _, ok := db.tables[s.Name]; !ok {
+	_, known := db.tables[s.Name]
+	_, isQuarantined := db.quarantined[s.Name]
+	if !known && !isQuarantined {
 		return nil, fmt.Errorf("engine: no table %q", s.Name)
+	}
+	// Dropping a quarantined table is the operator's way to discard a
+	// corrupt stable file and reclaim the name.
+	if db.durable() {
+		if err := db.dropDurable(s.Name); err != nil {
+			return nil, err
+		}
 	}
 	delete(db.tables, s.Name)
 	delete(db.stats, s.Name)
+	delete(db.quarantined, s.Name)
 	db.Monitor.Log(monitor.EvDDL, "drop table %s", s.Name)
 	return &Result{Text: "DROP TABLE"}, nil
 }
@@ -496,6 +534,9 @@ func (db *DB) entry(name string) (*tableEntry, error) {
 	defer db.mu.RUnlock()
 	e, ok := db.tables[name]
 	if !ok {
+		if qerr, qok := db.quarantined[name]; qok {
+			return nil, fmt.Errorf("engine: table %q is quarantined: %v", name, qerr)
+		}
 		return nil, fmt.Errorf("engine: no table %q", name)
 	}
 	return e, nil
@@ -798,6 +839,9 @@ func (db *DB) binder() *plan.Binder {
 func FormatResult(r *Result) string {
 	if r.Text != "" {
 		return r.Text
+	}
+	if len(r.Cols) == 0 {
+		return fmt.Sprintf("OK, %d rows affected\n", r.Affected)
 	}
 	var b strings.Builder
 	widths := make([]int, len(r.Cols))

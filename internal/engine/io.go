@@ -107,6 +107,13 @@ func (db *DB) execCopy(ctx context.Context, s *sql.CopyStmt) (*Result, error) {
 		if err := ap.Close(); err != nil {
 			return nil, err
 		}
+		// The appender bypassed the WAL; make the loaded stable durable
+		// right away so a crash after COPY returns keeps the rows.
+		if db.durable() {
+			if err := db.persistTable(s.Table, e.store.Stable(), e.store.LastWalSeq()); err != nil {
+				return nil, err
+			}
+		}
 	default:
 		tx := e.store.Begin()
 		for {
@@ -191,6 +198,11 @@ func (db *DB) execCopyClustered(ctx context.Context, s *sql.CopyStmt, e *tableEn
 	if err := loader.Close(); err != nil {
 		return nil, err
 	}
+	if db.durable() {
+		if err := db.persistTable(s.Table, e.store.Stable(), e.store.LastWalSeq()); err != nil {
+			return nil, err
+		}
+	}
 	loaded := loader.Rows()
 	db.Monitor.Log(monitor.EvLoad, "copy %d rows into %s clustered on %s", loaded, s.Table, s.OrderBy[0].Col)
 	return &Result{Affected: loaded}, nil
@@ -217,7 +229,13 @@ func (db *DB) LoadBatchFunc(table string, gen func(emit func(row []types.Value) 
 		}); err != nil {
 			return err
 		}
-		return ap.Close()
+		if err := ap.Close(); err != nil {
+			return err
+		}
+		if db.durable() {
+			return db.persistTable(table, e.store.Stable(), e.store.LastWalSeq())
+		}
+		return nil
 	}
 	tx := e.store.Begin()
 	if err := gen(func(row []types.Value) error {

@@ -1,0 +1,196 @@
+package fsim
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestMemFSDurableVolatileSplit(t *testing.T) {
+	fs := NewMemFS()
+	f, err := fs.Create("db/wal.log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte("hello "))
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte("world")) // never synced
+
+	fs.Crash()
+	b, err := fs.ReadFile("db/wal.log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != "hello " {
+		t.Fatalf("after crash: %q, want synced prefix only", b)
+	}
+}
+
+func TestMemFSTornWriteFailpoint(t *testing.T) {
+	fs := NewMemFS()
+	f, _ := fs.Create("x")
+	fs.FailWritesAfter(3)
+	n, err := f.Write([]byte("abcdef"))
+	if n != 3 || !errors.Is(err, ErrInjectedWrite) {
+		t.Fatalf("torn write: n=%d err=%v", n, err)
+	}
+	if n, err := f.Write([]byte("z")); n != 0 || err == nil {
+		t.Fatalf("post-budget write: n=%d err=%v", n, err)
+	}
+	b, _ := fs.ReadFile("x")
+	if string(b) != "abc" {
+		t.Fatalf("volatile content %q, want torn prefix", b)
+	}
+	fs.FailWritesAfter(-1)
+	if _, err := f.Write([]byte("ok")); err != nil {
+		t.Fatalf("disarmed failpoint still fails: %v", err)
+	}
+}
+
+func TestMemFSSyncFailpoint(t *testing.T) {
+	fs := NewMemFS()
+	f, _ := fs.Create("x")
+	f.Write([]byte("data"))
+	boom := errors.New("boom")
+	fs.FailNextSync(boom)
+	if err := f.Sync(); !errors.Is(err, boom) {
+		t.Fatalf("sync err %v", err)
+	}
+	fs.Crash()
+	b, _ := fs.ReadFile("x")
+	if len(b) != 0 {
+		t.Fatalf("failed sync promoted data: %q", b)
+	}
+	if err := f.Sync(); err != nil { // one-shot failpoint
+		t.Fatalf("second sync: %v", err)
+	}
+}
+
+func TestMemFSRenameDurability(t *testing.T) {
+	fs := NewMemFS()
+	f, _ := fs.Create("m.tmp")
+	f.Write([]byte("v1"))
+	f.Sync()
+	f.Close()
+	if err := fs.Rename("m.tmp", "m"); err != nil {
+		t.Fatal(err)
+	}
+	fs.Crash()
+	if b, _ := fs.ReadFile("m"); string(b) != "v1" {
+		t.Fatalf("synced rename lost: %q", b)
+	}
+	if fs.Exists("m.tmp") {
+		t.Fatal("source survived rename")
+	}
+
+	// Renaming a never-synced file leaves nothing durable.
+	g, _ := fs.Create("n.tmp")
+	g.Write([]byte("v2"))
+	g.Close()
+	fs.Rename("n.tmp", "n")
+	fs.Crash()
+	if b, _ := fs.ReadFile("n"); len(b) != 0 {
+		t.Fatalf("unsynced rename durable: %q", b)
+	}
+}
+
+func TestMemFSFlipBitAndClone(t *testing.T) {
+	fs := NewMemFS()
+	fs.SetDurable("t", []byte{1, 2, 3})
+	if err := fs.FlipBit("t", 1); err != nil {
+		t.Fatal(err)
+	}
+	b, _ := fs.ReadFile("t")
+	if b[1] == 2 {
+		t.Fatal("bit not flipped")
+	}
+	c := fs.CloneDurable()
+	cb, _ := c.ReadFile("t")
+	if cb[1] != b[1] {
+		t.Fatal("clone diverges from durable image")
+	}
+	if err := fs.FlipBit("t", 99); err == nil {
+		t.Fatal("out-of-range flip succeeded")
+	}
+}
+
+func TestMemFSListAndTruncate(t *testing.T) {
+	fs := NewMemFS()
+	fs.SetDurable("d/a", []byte("aa"))
+	fs.SetDurable("d/b", []byte("bb"))
+	fs.SetDurable("d/sub/c", []byte("cc"))
+	names, err := fs.List("d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("List = %v", names)
+	}
+	if err := fs.Truncate("d/a", 1); err != nil {
+		t.Fatal(err)
+	}
+	if b, _ := fs.ReadFile("d/a"); string(b) != "a" {
+		t.Fatalf("truncate: %q", b)
+	}
+	if err := fs.Truncate("d/a", 5); err == nil {
+		t.Fatal("grow-truncate succeeded")
+	}
+}
+
+// The OS implementation round-trips through a real temp dir.
+func TestOSFSRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	p := filepath.Join(dir, "f")
+	f, err := OS.Create(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte("abc"))
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	af, err := OS.OpenAppend(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	af.Write([]byte("def"))
+	af.Sync()
+	af.Close()
+	b, err := OS.ReadFile(p)
+	if err != nil || string(b) != "abcdef" {
+		t.Fatalf("read %q err %v", b, err)
+	}
+	if err := OS.Rename(p, filepath.Join(dir, "g")); err != nil {
+		t.Fatal(err)
+	}
+	if OS.Exists(p) || !OS.Exists(filepath.Join(dir, "g")) {
+		t.Fatal("rename state wrong")
+	}
+	names, err := OS.List(dir)
+	if err != nil || len(names) != 1 || names[0] != "g" {
+		t.Fatalf("List %v err %v", names, err)
+	}
+	if err := OS.Truncate(filepath.Join(dir, "g"), 2); err != nil {
+		t.Fatal(err)
+	}
+	rf, _ := OS.Open(filepath.Join(dir, "g"))
+	var buf [8]byte
+	n, _ := rf.ReadAt(buf[:], 0)
+	if string(buf[:n]) != "ab" {
+		t.Fatalf("ReadAt %q", buf[:n])
+	}
+	if sz, _ := rf.Size(); sz != 2 {
+		t.Fatalf("Size %d", sz)
+	}
+	rf.Close()
+	if err := OS.Remove(filepath.Join(dir, "g")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OS.Open(filepath.Join(dir, "g")); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("open removed: %v", err)
+	}
+}

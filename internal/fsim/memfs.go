@@ -1,0 +1,352 @@
+package fsim
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// ErrInjectedWrite is the failure MemFS injects when the torn-write
+// failpoint triggers mid-write.
+var ErrInjectedWrite = errors.New("fsim: injected write failure (torn write)")
+
+// MemFS is a deterministic in-memory file system with an explicit
+// durable/volatile split:
+//
+//   - Write appends to the volatile image only,
+//   - Sync promotes a file's volatile image to the durable image,
+//   - Crash() resets every volatile image to its durable state — the
+//     simulated kill -9.
+//
+// Rename is modeled as atomic and immediately durable (a journaling file
+// system's rename-after-fsync), carrying each image's own content: renaming
+// a never-synced file leaves nothing durable under the new name, which is
+// exactly the bug the model is meant to catch.
+type MemFS struct {
+	mu       sync.Mutex
+	volatile map[string][]byte
+	durable  map[string][]byte
+	dirs     map[string]bool
+
+	writeBudget int64 // bytes until injected write failure; <0 = unlimited
+	syncErr     error // next Sync fails with this (one-shot)
+}
+
+// NewMemFS returns an empty in-memory file system.
+func NewMemFS() *MemFS {
+	return &MemFS{
+		volatile:    map[string][]byte{},
+		durable:     map[string][]byte{},
+		dirs:        map[string]bool{},
+		writeBudget: -1,
+	}
+}
+
+func clean(name string) string { return path.Clean(strings.ReplaceAll(name, "\\", "/")) }
+
+// --- failpoints ---
+
+// FailWritesAfter arms the torn-write failpoint: the next n bytes written
+// (across all files) succeed, then the write that crosses the budget
+// persists only its leading fragment and fails; later writes fail with
+// nothing written. Pass a negative n to disarm.
+func (m *MemFS) FailWritesAfter(n int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.writeBudget = n
+}
+
+// FailNextSync makes the next Sync call fail with err without promoting
+// anything to the durable image (the "short fsync").
+func (m *MemFS) FailNextSync(err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.syncErr = err
+}
+
+// FlipBit XORs one bit of name at byte offset off in both images —
+// simulated media corruption of data already on disk.
+func (m *MemFS) FlipBit(name string, off int64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	name = clean(name)
+	flipped := false
+	for _, img := range []map[string][]byte{m.volatile, m.durable} {
+		if b, ok := img[name]; ok && off >= 0 && off < int64(len(b)) {
+			b[off] ^= 0x40
+			flipped = true
+		}
+	}
+	if !flipped {
+		return fmt.Errorf("fsim: FlipBit(%s, %d): no such byte", name, off)
+	}
+	return nil
+}
+
+// Crash discards every unsynced write: all volatile images reset to their
+// durable state. Open handles keep working against the post-crash content
+// (real crashes kill the process too; tests reopen through a fresh FS view
+// or the same MemFS).
+func (m *MemFS) Crash() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.volatile = map[string][]byte{}
+	for n, b := range m.durable {
+		m.volatile[n] = append([]byte(nil), b...)
+	}
+}
+
+// CloneDurable returns a new MemFS whose content is this one's durable
+// image — the disk a recovery process would see after a crash. Failpoints
+// are not inherited.
+func (m *MemFS) CloneDurable() *MemFS {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c := NewMemFS()
+	for n, b := range m.durable {
+		c.durable[n] = append([]byte(nil), b...)
+		c.volatile[n] = append([]byte(nil), b...)
+	}
+	for d := range m.dirs {
+		c.dirs[d] = true
+	}
+	return c
+}
+
+// DurableLen returns the durable size of name (0 if absent).
+func (m *MemFS) DurableLen(name string) int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return int64(len(m.durable[clean(name)]))
+}
+
+// SetDurable installs content as both images of name (test setup).
+func (m *MemFS) SetDurable(name string, content []byte) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	name = clean(name)
+	m.durable[name] = append([]byte(nil), content...)
+	m.volatile[name] = append([]byte(nil), content...)
+}
+
+// --- FS interface ---
+
+type memFile struct {
+	fs     *MemFS
+	name   string
+	rdOff  int64
+	closed bool
+}
+
+func (m *MemFS) Create(name string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	name = clean(name)
+	m.volatile[name] = nil
+	return &memFile{fs: m, name: name}, nil
+}
+
+func (m *MemFS) Open(name string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	name = clean(name)
+	if _, ok := m.volatile[name]; !ok {
+		return nil, &os.PathError{Op: "open", Path: name, Err: os.ErrNotExist}
+	}
+	return &memFile{fs: m, name: name}, nil
+}
+
+func (m *MemFS) OpenAppend(name string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	name = clean(name)
+	if _, ok := m.volatile[name]; !ok {
+		m.volatile[name] = nil
+	}
+	return &memFile{fs: m, name: name}, nil
+}
+
+func (m *MemFS) Rename(oldname, newname string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	oldname, newname = clean(oldname), clean(newname)
+	v, ok := m.volatile[oldname]
+	if !ok {
+		return &os.PathError{Op: "rename", Path: oldname, Err: os.ErrNotExist}
+	}
+	m.volatile[newname] = v
+	delete(m.volatile, oldname)
+	if d, ok := m.durable[oldname]; ok {
+		m.durable[newname] = d
+		delete(m.durable, oldname)
+	} else {
+		// Source never synced: nothing durable lands under the new name.
+		delete(m.durable, newname)
+	}
+	return nil
+}
+
+func (m *MemFS) Remove(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	name = clean(name)
+	if _, ok := m.volatile[name]; !ok {
+		return &os.PathError{Op: "remove", Path: name, Err: os.ErrNotExist}
+	}
+	delete(m.volatile, name)
+	delete(m.durable, name)
+	return nil
+}
+
+func (m *MemFS) Truncate(name string, size int64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	name = clean(name)
+	b, ok := m.volatile[name]
+	if !ok {
+		return &os.PathError{Op: "truncate", Path: name, Err: os.ErrNotExist}
+	}
+	if size < 0 || size > int64(len(b)) {
+		return fmt.Errorf("fsim: truncate %s to %d (size %d)", name, size, len(b))
+	}
+	m.volatile[name] = b[:size:size]
+	return nil
+}
+
+func (m *MemFS) ReadFile(name string) ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	name = clean(name)
+	b, ok := m.volatile[name]
+	if !ok {
+		return nil, &os.PathError{Op: "open", Path: name, Err: os.ErrNotExist}
+	}
+	return append([]byte(nil), b...), nil
+}
+
+func (m *MemFS) List(dir string) ([]string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	dir = clean(dir)
+	prefix := dir + "/"
+	if dir == "." || dir == "/" {
+		prefix = ""
+	}
+	var out []string
+	for n := range m.volatile {
+		if !strings.HasPrefix(n, prefix) {
+			continue
+		}
+		rest := strings.TrimPrefix(n, prefix)
+		if !strings.Contains(rest, "/") {
+			out = append(out, rest)
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+func (m *MemFS) MkdirAll(dir string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.dirs[clean(dir)] = true
+	return nil
+}
+
+func (m *MemFS) Exists(name string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	name = clean(name)
+	if _, ok := m.volatile[name]; ok {
+		return true
+	}
+	return m.dirs[name]
+}
+
+// --- memFile ---
+
+func (f *memFile) Write(p []byte) (int, error) {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	if f.closed {
+		return 0, os.ErrClosed
+	}
+	n := len(p)
+	var fail bool
+	if f.fs.writeBudget >= 0 {
+		if int64(n) > f.fs.writeBudget {
+			n = int(f.fs.writeBudget)
+			fail = true
+		}
+		f.fs.writeBudget -= int64(n)
+	}
+	f.fs.volatile[f.name] = append(f.fs.volatile[f.name], p[:n]...)
+	if fail {
+		return n, ErrInjectedWrite
+	}
+	return n, nil
+}
+
+func (f *memFile) Read(p []byte) (int, error) {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	if f.closed {
+		return 0, os.ErrClosed
+	}
+	b := f.fs.volatile[f.name]
+	if f.rdOff >= int64(len(b)) {
+		return 0, io.EOF
+	}
+	n := copy(p, b[f.rdOff:])
+	f.rdOff += int64(n)
+	return n, nil
+}
+
+func (f *memFile) ReadAt(p []byte, off int64) (int, error) {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	if f.closed {
+		return 0, os.ErrClosed
+	}
+	b := f.fs.volatile[f.name]
+	if off >= int64(len(b)) {
+		return 0, io.EOF
+	}
+	n := copy(p, b[off:])
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+func (f *memFile) Sync() error {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	if f.closed {
+		return os.ErrClosed
+	}
+	if err := f.fs.syncErr; err != nil {
+		f.fs.syncErr = nil
+		return err
+	}
+	f.fs.durable[f.name] = append([]byte(nil), f.fs.volatile[f.name]...)
+	return nil
+}
+
+func (f *memFile) Size() (int64, error) {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	return int64(len(f.fs.volatile[f.name])), nil
+}
+
+func (f *memFile) Close() error {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	f.closed = true
+	return nil
+}

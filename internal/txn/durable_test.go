@@ -1,0 +1,199 @@
+package txn
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"vectorwise/internal/colstore"
+	"vectorwise/internal/fsim"
+	"vectorwise/internal/types"
+	"vectorwise/internal/vec"
+	"vectorwise/internal/wal"
+)
+
+// rowsOf materializes the full two-column image a transaction sees.
+func rowsOf(t *testing.T, tx *Txn) string {
+	t.Helper()
+	src, err := tx.Scan([]int{0, 1}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := vec.NewBatch(src.Kinds(), 0)
+	var sb strings.Builder
+	for {
+		_, n, done, err := src.Next(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if done {
+			break
+		}
+		for i := 0; i < n; i++ {
+			r := b.RowIndex(i)
+			fmt.Fprintf(&sb, "%d=%s;", b.Vecs[0].Get(r).Int64(), b.Vecs[1].Get(r).Str)
+		}
+	}
+	return sb.String()
+}
+
+// A workload that exercises both commit paths: sequential commits (fast,
+// positional) and commits with intervening concurrent commits (slow,
+// SID-anchored). Replaying the WAL after a crash must reproduce the exact
+// committed image.
+func TestWALReplayReproducesImage(t *testing.T) {
+	fs := fsim.NewMemFS()
+	log, _, err := wal.Open(fs, "wal.log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newStore(t, 6)
+	s.SetDurable(log, "t", nil)
+
+	// Fast path: inserts, a delete, a modify, each in its own txn.
+	t1 := s.Begin()
+	if err := t1.InsertRow(row2(100, "ins-tail")); err != nil {
+		t.Fatal(err)
+	}
+	if err := t1.InsertRowAt(2, row2(101, "ins-mid")); err != nil {
+		t.Fatal(err)
+	}
+	if err := t1.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	t2 := s.Begin()
+	if err := t2.DeleteAt(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := t2.UpdateAt(3, 1, types.NewString("modified")); err != nil {
+		t.Fatal(err)
+	}
+	if err := t2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Slow path: t4 commits after t3 intervened, forcing SID re-anchoring.
+	t3 := s.Begin()
+	t4 := s.Begin()
+	if err := t3.InsertRowAt(1, row2(200, "interloper")); err != nil {
+		t.Fatal(err)
+	}
+	if err := t3.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := t4.UpdateAt(5, 1, types.NewString("re-anchored")); err != nil {
+		t.Fatal(err)
+	}
+	if err := t4.DeleteAt(4); err != nil {
+		t.Fatal(err)
+	}
+	if err := t4.InsertRowAt(2, row2(201, "anchored-ins")); err != nil {
+		t.Fatal(err)
+	}
+	if err := t4.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	check := s.Begin()
+	want := rowsOf(t, check)
+	check.Abort()
+	if s.LastWalSeq() != 4 {
+		t.Fatalf("LastWalSeq = %d", s.LastWalSeq())
+	}
+	log.Close()
+
+	// Crash, recover: same stable table, WAL replay only.
+	fs.Crash()
+	_, res, err := wal.Open(fs, "wal.log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Records) != 4 {
+		t.Fatalf("recovered %d records", len(res.Records))
+	}
+	s2 := NewStore(s.Stable())
+	for _, rec := range res.Records {
+		if err := s2.ApplyRecovered(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s2.LastWalSeq() != 4 {
+		t.Fatalf("recovered LastWalSeq = %d", s2.LastWalSeq())
+	}
+	check2 := s2.Begin()
+	got := rowsOf(t, check2)
+	check2.Abort()
+	if got != want {
+		t.Fatalf("replayed image differs:\n got %s\nwant %s", got, want)
+	}
+}
+
+// A failing WAL fsync must abort the commit without touching the shared
+// read-PDT — the acknowledged image and the durable log stay in step.
+func TestFailedWALAppendAbortsCommit(t *testing.T) {
+	fs := fsim.NewMemFS()
+	log, _, err := wal.Open(fs, "wal.log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newStore(t, 3)
+	s.SetDurable(log, "t", nil)
+	fs.FailNextSync(fmt.Errorf("device gone"))
+	tx := s.Begin()
+	if err := tx.InsertRow(row2(9, "doomed")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err == nil {
+		t.Fatal("commit with failing WAL fsync succeeded")
+	}
+	if s.Rows() != 3 || s.PendingOps() != 0 {
+		t.Fatalf("read-PDT mutated after failed append: rows=%d pending=%d", s.Rows(), s.PendingOps())
+	}
+}
+
+// Checkpoint hands the fresh stable table and its WAL horizon to the
+// persist hook before swapping it in; a persist failure leaves the old
+// stable in place.
+func TestCheckpointPersistHook(t *testing.T) {
+	fs := fsim.NewMemFS()
+	log, _, err := wal.Open(fs, "wal.log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newStore(t, 4)
+	var gotRows int64
+	var gotSeq uint64
+	s.SetDurable(log, "t", func(fresh *colstore.Table, through uint64) error {
+		gotRows = fresh.Rows()
+		gotSeq = through
+		return nil
+	})
+	tx := s.Begin()
+	tx.InsertRow(row2(50, "new"))
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if gotRows != 5 || gotSeq != 1 {
+		t.Fatalf("persist got rows=%d seq=%d", gotRows, gotSeq)
+	}
+
+	// Failure path: the swap must not happen.
+	tx2 := s.Begin()
+	tx2.InsertRow(row2(51, "more"))
+	if err := tx2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	old := s.Stable()
+	s.SetDurable(log, "t", func(*colstore.Table, uint64) error {
+		return fmt.Errorf("disk full")
+	})
+	if err := s.Checkpoint(); err == nil {
+		t.Fatal("checkpoint with failing persist succeeded")
+	}
+	if s.Stable() != old || s.PendingOps() == 0 {
+		t.Fatal("failed persist still swapped the stable table")
+	}
+}

@@ -17,6 +17,7 @@ package txn
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 
 	"vectorwise/internal/colstore"
@@ -24,6 +25,7 @@ import (
 	"vectorwise/internal/pdt"
 	"vectorwise/internal/types"
 	"vectorwise/internal/vec"
+	"vectorwise/internal/wal"
 )
 
 // Transaction-layer instruments.
@@ -54,6 +56,14 @@ type Store struct {
 	epoch   int64 // checkpoint epoch
 	commits []commitRecord
 	active  int
+
+	// Durability hooks, nil for in-memory stores. log receives every commit
+	// before it mutates the shared read-PDT (write-ahead); persist makes a
+	// freshly checkpointed stable table durable before it is swapped in.
+	log        *wal.WAL
+	name       string // table name used in WAL records
+	lastWalSeq uint64 // WAL seq of the latest commit applied to read-PDT
+	persist    func(stable *colstore.Table, throughSeq uint64) error
 }
 
 type commitRecord struct {
@@ -64,6 +74,41 @@ type commitRecord struct {
 // NewStore wraps a stable table.
 func NewStore(stable *colstore.Table) *Store {
 	return &Store{stable: stable, read: pdt.New()}
+}
+
+// SetDurable attaches a write-ahead log and a checkpoint-persist hook.
+// Commits append a logical record under name and block on the log's fsync
+// before publishing; Checkpoint calls persist with the fresh stable table
+// and the WAL sequence it covers, before swapping it in. Must be called
+// before any transactions run.
+func (s *Store) SetDurable(log *wal.WAL, name string, persist func(*colstore.Table, uint64) error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.log = log
+	s.name = name
+	s.persist = persist
+}
+
+// LastWalSeq returns the WAL sequence of the latest commit applied to the
+// shared read-PDT (0 if none since open).
+func (s *Store) LastWalSeq() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastWalSeq
+}
+
+// ApplyRecovered replays one recovered WAL record onto the shared
+// read-PDT during crash recovery, before any transactions run. Records
+// must arrive in sequence order.
+func (s *Store) ApplyRecovered(rec *wal.Record) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := applyOps(s.read, rec.Ops); err != nil {
+		return fmt.Errorf("txn: replaying wal record %d: %w", rec.Seq, err)
+	}
+	s.seq++
+	s.lastWalSeq = rec.Seq
+	return nil
 }
 
 // Stable returns the current stable table (tests, checkpointing tools).
@@ -310,19 +355,35 @@ func (t *Txn) Commit() error {
 			}
 		}
 	}
-	// Publish: replay the write-PDT onto the shared read-PDT. Positions in
-	// the write-PDT are relative to the snapshot image; map each op to its
-	// stable anchor (invariant under concurrent commits) and replay by SID.
+	// Translate the write-PDT into the logical ops this commit applies to
+	// the shared read-PDT. Positions in the write-PDT are relative to the
+	// snapshot image; on the fast path (nothing moved since the snapshot)
+	// positional replay is exact and preserves intra-anchor insert order,
+	// otherwise each op is re-anchored at its stable SID (invariant under
+	// concurrent commits). Validation happens here, BEFORE the WAL append:
+	// only ops certain to apply may be logged.
+	var ops []wal.Op
 	if !intervening {
-		// Fast path: nothing moved since the snapshot; positional replay
-		// is exact (and preserves intra-anchor insert order).
-		if err := pdt.Propagate(s.read, t.write); err != nil {
-			return err
-		}
+		ops = positionalOps(t.write)
 	} else {
-		if err := t.replayBySID(); err != nil {
+		var err error
+		if ops, err = t.anchoredOps(); err != nil {
+			mConflicts.Inc()
 			return err
 		}
+	}
+	// Write-ahead: the record must be durable before the read-PDT changes.
+	// Holding s.mu here serializes this table's commits in WAL order;
+	// commits to other tables still coalesce into shared fsyncs.
+	if s.log != nil {
+		seq, err := s.log.Append(s.name, ops)
+		if err != nil {
+			return fmt.Errorf("txn: wal append: %w", err)
+		}
+		s.lastWalSeq = seq
+	}
+	if err := applyOps(s.read, ops); err != nil {
+		return err
 	}
 	s.seq++
 	if len(t.touched) > 0 {
@@ -332,34 +393,121 @@ func (t *Txn) Commit() error {
 	return nil
 }
 
-// replayBySID re-anchors every write op at its stable SID and applies it to
-// the current read-PDT. Called only when no op touches non-stable rows.
-func (t *Txn) replayBySID() error {
-	shift := int64(0) // adjustment of snapshot positions by earlier ops
-	for _, op := range t.write.Ops() {
-		snapPos := op.SID + shift
+// positionalOps flattens a write-PDT into positional wal ops, baking in the
+// running shift pdt.Propagate would apply (an earlier insert moves later
+// positions up, a delete down).
+func positionalOps(write *pdt.PDT) []wal.Op {
+	src := write.Ops()
+	out := make([]wal.Op, 0, len(src))
+	shift := int64(0)
+	for _, op := range src {
+		pos := op.SID + shift
 		switch op.Kind {
 		case pdt.OpIns:
-			sid, _ := t.snapRead.Resolve(snapPos)
-			t.store.read.InsertAtSID(sid, op.Row)
+			out = append(out, wal.Op{Kind: wal.OpInsert, Pos: pos, Row: op.Row})
 			shift++
 		case pdt.OpDel:
-			sid, inserted := t.snapRead.Resolve(snapPos)
-			if inserted {
-				return ErrConflict // guarded by nonStable, defensive
-			}
-			if err := t.store.read.DeleteAtSID(sid); err != nil {
-				return fmt.Errorf("%w (%v)", ErrConflict, err)
-			}
+			out = append(out, wal.Op{Kind: wal.OpDelete, Pos: pos})
 			shift--
 		case pdt.OpMod:
-			sid, inserted := t.snapRead.Resolve(snapPos)
+			cols, vals := sortedMods(op.Mods)
+			out = append(out, wal.Op{Kind: wal.OpModify, Pos: pos, ModCols: cols, ModVals: vals})
+		}
+	}
+	return out
+}
+
+// anchoredOps re-anchors every write op at its stable SID, validating that
+// each will apply cleanly to the current read-PDT (the conflict checks the
+// old in-place replay did at application time, hoisted ahead of logging).
+// Write-PDT op SIDs are snapshot-image positions already net of the txn's
+// own inserts and deletes, so they resolve through the frozen snapRead
+// directly — no running shift (unlike positional replay, which mutates its
+// destination as it goes). Called only when no op touches non-stable rows.
+func (t *Txn) anchoredOps() ([]wal.Op, error) {
+	src := t.write.Ops()
+	out := make([]wal.Op, 0, len(src))
+	for _, op := range src {
+		switch op.Kind {
+		case pdt.OpIns:
+			sid, _ := t.snapRead.Resolve(op.SID)
+			out = append(out, wal.Op{Kind: wal.OpInsert, Anchored: true, Pos: sid, Row: op.Row})
+		case pdt.OpDel:
+			sid, inserted := t.snapRead.Resolve(op.SID)
 			if inserted {
-				return ErrConflict
+				return nil, ErrConflict // guarded by nonStable, defensive
 			}
-			for c, v := range op.Mods {
-				if err := t.store.read.ModifyAtSID(sid, c, v); err != nil {
+			if t.store.read.StableDeleted(sid) {
+				return nil, fmt.Errorf("%w (stable row %d already deleted)", ErrConflict, sid)
+			}
+			out = append(out, wal.Op{Kind: wal.OpDelete, Anchored: true, Pos: sid})
+		case pdt.OpMod:
+			sid, inserted := t.snapRead.Resolve(op.SID)
+			if inserted {
+				return nil, ErrConflict
+			}
+			if t.store.read.StableDeleted(sid) {
+				return nil, fmt.Errorf("%w (stable row %d is deleted)", ErrConflict, sid)
+			}
+			cols, vals := sortedMods(op.Mods)
+			out = append(out, wal.Op{Kind: wal.OpModify, Anchored: true, Pos: sid, ModCols: cols, ModVals: vals})
+		}
+	}
+	return out, nil
+}
+
+// sortedMods flattens a mod map into parallel slices ordered by column, so
+// the WAL encoding of a commit is deterministic.
+func sortedMods(mods map[int]types.Value) ([]int, []types.Value) {
+	cols := make([]int, 0, len(mods))
+	for c := range mods {
+		cols = append(cols, c)
+	}
+	sort.Ints(cols)
+	vals := make([]types.Value, len(cols))
+	for i, c := range cols {
+		vals[i] = mods[c]
+	}
+	return cols, vals
+}
+
+// applyOps replays a commit's logical ops onto a read-PDT — the single
+// application path shared by live commits and crash recovery, so a
+// replayed log reproduces the exact tree a crash destroyed. Positional ops
+// go through the image-position APIs, anchored ops through the SID APIs.
+func applyOps(dst *pdt.PDT, ops []wal.Op) error {
+	for i := range ops {
+		op := &ops[i]
+		if op.Anchored {
+			switch op.Kind {
+			case wal.OpInsert:
+				dst.InsertAtSID(op.Pos, op.Row)
+			case wal.OpDelete:
+				if err := dst.DeleteAtSID(op.Pos); err != nil {
 					return fmt.Errorf("%w (%v)", ErrConflict, err)
+				}
+			case wal.OpModify:
+				for j, c := range op.ModCols {
+					if err := dst.ModifyAtSID(op.Pos, c, op.ModVals[j]); err != nil {
+						return fmt.Errorf("%w (%v)", ErrConflict, err)
+					}
+				}
+			}
+			continue
+		}
+		switch op.Kind {
+		case wal.OpInsert:
+			if err := dst.InsertAt(op.Pos, op.Row); err != nil {
+				return err
+			}
+		case wal.OpDelete:
+			if err := dst.DeleteAt(op.Pos); err != nil {
+				return err
+			}
+		case wal.OpModify:
+			for j, c := range op.ModCols {
+				if err := dst.ModifyAt(op.Pos, c, op.ModVals[j]); err != nil {
+					return err
 				}
 			}
 		}
@@ -422,6 +570,15 @@ func (s *Store) Checkpoint() error {
 		err := s.Checkpoint()
 		s.mu.Lock()
 		return err
+	}
+	// Make the fresh stable durable (file + manifest) before it becomes
+	// visible: a crash after persist but before the swap recovers the old
+	// generation plus the full WAL tail, a crash after it recovers the new
+	// generation and skips the records it absorbed — both exact images.
+	if s.persist != nil {
+		if err := s.persist(fresh, s.lastWalSeq); err != nil {
+			return fmt.Errorf("txn: persisting checkpoint: %w", err)
+		}
 	}
 	s.stable = fresh
 	s.read = pdt.New()

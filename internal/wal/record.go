@@ -1,0 +1,263 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"vectorwise/internal/types"
+)
+
+// OpKind classifies one logical DML delta inside a commit record.
+type OpKind uint8
+
+// The op kinds. They mirror pdt.OpKind but are a separate type so the
+// on-disk encoding is independent of in-memory enum values.
+const (
+	OpInsert OpKind = iota
+	OpDelete
+	OpModify
+)
+
+// Op is one logical delta of a committed transaction, in application order.
+// Two anchor modes exist, matching the two commit paths of the txn layer:
+//
+//   - positional (Anchored == false): Pos is an image position in the
+//     shared read-PDT's space at the moment this record applies; the fast
+//     commit path (no intervening commits) logs these.
+//   - SID-anchored (Anchored == true): Pos is a stable-table SID, invariant
+//     under concurrent commits; the re-anchoring slow path logs these.
+//
+// Replaying records in sequence order through the same two application
+// paths reproduces the shared read-PDT byte for byte.
+type Op struct {
+	Kind     OpKind
+	Anchored bool
+	Pos      int64
+	Row      []types.Value // OpInsert: the full physical row
+	ModCols  []int         // OpModify: parallel column/value pairs,
+	ModVals  []types.Value //           sorted by column for determinism
+}
+
+// Record is one WAL entry: everything a single transaction committed to
+// one table's shared read-PDT.
+type Record struct {
+	Seq   uint64
+	Table string
+	Ops   []Op
+}
+
+// --- payload encoding ---
+//
+//	uvarint seq
+//	uvarint len(table) | table bytes
+//	uvarint nops
+//	per op:
+//	    byte  flags = kind | anchored<<4
+//	    varint pos
+//	    OpInsert: uvarint nvals | values
+//	    OpModify: uvarint nmods | per mod: uvarint col, value
+//
+// Values: byte kind, byte null; non-null payloads are uvarint+bytes for
+// strings, 8 fixed bytes for floats, varint for everything else (ints,
+// bools, dates all live in I64).
+
+func appendUvarint(b []byte, v uint64) []byte {
+	return binary.AppendUvarint(b, v)
+}
+
+func appendVarint(b []byte, v int64) []byte {
+	return binary.AppendVarint(b, v)
+}
+
+func appendValue(b []byte, v types.Value) []byte {
+	b = append(b, byte(v.Kind))
+	if v.Null {
+		return append(b, 1)
+	}
+	b = append(b, 0)
+	switch v.Kind {
+	case types.KindString:
+		b = appendUvarint(b, uint64(len(v.Str)))
+		b = append(b, v.Str...)
+	case types.KindFloat64:
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(v.F64))
+	default:
+		b = appendVarint(b, v.I64)
+	}
+	return b
+}
+
+// encodePayload serializes r (without framing).
+func encodePayload(r *Record) []byte {
+	b := make([]byte, 0, 64+32*len(r.Ops))
+	b = appendUvarint(b, r.Seq)
+	b = appendUvarint(b, uint64(len(r.Table)))
+	b = append(b, r.Table...)
+	b = appendUvarint(b, uint64(len(r.Ops)))
+	for i := range r.Ops {
+		op := &r.Ops[i]
+		flags := byte(op.Kind)
+		if op.Anchored {
+			flags |= 1 << 4
+		}
+		b = append(b, flags)
+		b = appendVarint(b, op.Pos)
+		switch op.Kind {
+		case OpInsert:
+			b = appendUvarint(b, uint64(len(op.Row)))
+			for _, v := range op.Row {
+				b = appendValue(b, v)
+			}
+		case OpModify:
+			b = appendUvarint(b, uint64(len(op.ModCols)))
+			for j, c := range op.ModCols {
+				b = appendUvarint(b, uint64(c))
+				b = appendValue(b, op.ModVals[j])
+			}
+		}
+	}
+	return b
+}
+
+// byteCursor decodes sequentially with explicit error state.
+type byteCursor struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (c *byteCursor) fail(what string) {
+	if c.err == nil {
+		c.err = fmt.Errorf("wal: payload truncated at byte %d reading %s", c.off, what)
+	}
+}
+
+func (c *byteCursor) u8(what string) byte {
+	if c.err != nil {
+		return 0
+	}
+	if c.off >= len(c.b) {
+		c.fail(what)
+		return 0
+	}
+	v := c.b[c.off]
+	c.off++
+	return v
+}
+
+func (c *byteCursor) uvarint(what string) uint64 {
+	if c.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(c.b[c.off:])
+	if n <= 0 {
+		c.fail(what)
+		return 0
+	}
+	c.off += n
+	return v
+}
+
+func (c *byteCursor) varint(what string) int64 {
+	if c.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(c.b[c.off:])
+	if n <= 0 {
+		c.fail(what)
+		return 0
+	}
+	c.off += n
+	return v
+}
+
+func (c *byteCursor) bytes(n uint64, what string) []byte {
+	if c.err != nil {
+		return nil
+	}
+	if uint64(len(c.b)-c.off) < n {
+		c.fail(what)
+		return nil
+	}
+	v := c.b[c.off : c.off+int(n)]
+	c.off += int(n)
+	return v
+}
+
+func (c *byteCursor) value(what string) types.Value {
+	kind := types.Kind(c.u8(what + " kind"))
+	null := c.u8(what+" null") != 0
+	v := types.Value{Kind: kind, Null: null}
+	if null || c.err != nil {
+		return v
+	}
+	switch kind {
+	case types.KindString:
+		n := c.uvarint(what + " strlen")
+		v.Str = string(c.bytes(n, what+" str"))
+	case types.KindFloat64:
+		raw := c.bytes(8, what+" float")
+		if c.err == nil {
+			v.F64 = math.Float64frombits(binary.LittleEndian.Uint64(raw))
+		}
+	default:
+		v.I64 = c.varint(what + " int")
+	}
+	return v
+}
+
+// decodePayload parses one record payload.
+func decodePayload(b []byte) (*Record, error) {
+	c := &byteCursor{b: b}
+	r := &Record{}
+	r.Seq = c.uvarint("seq")
+	tn := c.uvarint("table len")
+	r.Table = string(c.bytes(tn, "table"))
+	nops := c.uvarint("op count")
+	if c.err != nil {
+		return nil, c.err
+	}
+	if nops > uint64(len(b)) { // each op takes ≥2 bytes; reject absurd counts
+		return nil, fmt.Errorf("wal: implausible op count %d in %d-byte payload", nops, len(b))
+	}
+	r.Ops = make([]Op, 0, nops)
+	for i := uint64(0); i < nops; i++ {
+		flags := c.u8("op flags")
+		op := Op{Kind: OpKind(flags & 0x0f), Anchored: flags&(1<<4) != 0}
+		op.Pos = c.varint("op pos")
+		switch op.Kind {
+		case OpInsert:
+			nv := c.uvarint("row len")
+			if c.err == nil && nv > uint64(len(b)) {
+				return nil, fmt.Errorf("wal: implausible row arity %d", nv)
+			}
+			op.Row = make([]types.Value, 0, nv)
+			for j := uint64(0); j < nv && c.err == nil; j++ {
+				op.Row = append(op.Row, c.value("row value"))
+			}
+		case OpDelete:
+		case OpModify:
+			nm := c.uvarint("mod count")
+			if c.err == nil && nm > uint64(len(b)) {
+				return nil, fmt.Errorf("wal: implausible mod count %d", nm)
+			}
+			for j := uint64(0); j < nm && c.err == nil; j++ {
+				col := c.uvarint("mod col")
+				v := c.value("mod value")
+				op.ModCols = append(op.ModCols, int(col))
+				op.ModVals = append(op.ModVals, v)
+			}
+		default:
+			return nil, fmt.Errorf("wal: unknown op kind %d", op.Kind)
+		}
+		if c.err != nil {
+			return nil, c.err
+		}
+		r.Ops = append(r.Ops, op)
+	}
+	if c.off != len(b) {
+		return nil, fmt.Errorf("wal: %d trailing bytes after record payload", len(b)-c.off)
+	}
+	return r, nil
+}
